@@ -1,0 +1,109 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. **Emission multiplexing** (§5.2, [98]): M-type attempts fire
+//!    every MHP cycle, measuring before the reply returns. Disabling
+//!    it forces one attempt per reply round trip — on QL2020 that is a
+//!    ~14× throughput penalty, which is exactly why the paper's MD
+//!    numbers are distance-insensitive while K-type numbers are not.
+//! 2. **Scheduler weight** (LowerWFQ vs HigherWFQ): how much the
+//!    CK-over-MD weight matters under contention.
+//! 3. **Attempt-model caching**: cost of the cached O(1) sampling path
+//!    versus rebuilding the quantum noise chain per attempt (the
+//!    design decision that makes laptop-scale runs possible).
+
+use qlink::des::DetRng;
+use qlink::phys::attempt::AttemptModel;
+use qlink::phys::params::ScenarioParams;
+use qlink::prelude::*;
+use qlink_bench::{header, run_link, scaled_secs, Stopwatch};
+
+fn main() {
+    header(
+        "ablation",
+        "emission multiplexing, WFQ weights, attempt-model caching",
+        "design choices of §5.2 / DESIGN.md",
+    );
+    let sw = Stopwatch::new();
+
+    // --- 1. emission multiplexing -----------------------------------
+    println!("(1) emission multiplexing for MD on QL2020 (f = 0.99, kmax = 3):");
+    let secs = scaled_secs(20.0);
+    let mut results = Vec::new();
+    for multiplex in [true, false] {
+        let spec = WorkloadSpec::single(RequestKind::Md, 0.99, 3);
+        let mut cfg = LinkConfig::ql2020(spec, 201);
+        cfg.scenario.measure_multiplexing = multiplex;
+        let sim = run_link(cfg, secs);
+        let th = sim.metrics.throughput(RequestKind::Md);
+        println!(
+            "    multiplexing {}  → {:.3} pairs/s",
+            if multiplex { "ON " } else { "OFF" },
+            th
+        );
+        results.push(th);
+    }
+    if results[1] > 0.0 {
+        println!(
+            "    speedup from multiplexing: {:.1}× (expected ≈ reply latency / cycle ≈ 14-16×)",
+            results[0] / results[1]
+        );
+    }
+
+    // --- 2. WFQ weight ----------------------------------------------
+    println!();
+    println!("(2) CK:MD WFQ weight under overloaded CK-heavy contention (Lab):");
+    for sched in [SchedulerChoice::LowerWfq, SchedulerChoice::HigherWfq] {
+        let spec = {
+            // Overload both queues so CK and MD items genuinely
+            // contend — the weights only matter when both are ready.
+            let mut w = WorkloadSpec::from_pattern(&UsagePattern::no_nl_more_ck(), 0.64);
+            w.ck.fraction = 1.4;
+            w.md.fraction = 1.4;
+            w.md.kmax = 10;
+            w
+        };
+        let sim = run_link(LinkConfig::lab(spec, 202).with_scheduler(sched), scaled_secs(12.0));
+        let ck = sim.metrics.kind_total(RequestKind::Ck);
+        let md = sim.metrics.kind_total(RequestKind::Md);
+        println!(
+            "    {:<10} CK: {:.2}/s SL {:.2}s | MD: {:.2}/s SL {:.2}s",
+            sched.label(),
+            sim.metrics.throughput(RequestKind::Ck),
+            ck.scaled_latency.mean(),
+            sim.metrics.throughput(RequestKind::Md),
+            md.scaled_latency.mean(),
+        );
+    }
+
+    // --- 3. attempt-model caching ------------------------------------
+    println!();
+    println!("(3) cached sampling vs rebuilding the noise chain per attempt:");
+    let params = ScenarioParams::lab();
+    let mut rng = DetRng::new(7);
+    let n = 20_000u32;
+
+    let t0 = std::time::Instant::now();
+    let model = AttemptModel::build(&params, 0.2);
+    let mut acc = 0u32;
+    for _ in 0..n {
+        acc += model.sample(&mut rng).is_success() as u32;
+    }
+    let cached = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let rebuilds = 200u32; // full chain per attempt is too slow to run n times
+    for _ in 0..rebuilds {
+        let m = AttemptModel::build(&params, 0.2);
+        acc += m.sample(&mut rng).is_success() as u32;
+    }
+    let rebuilt_each = t1.elapsed().as_secs_f64() / rebuilds as f64;
+    let cached_each = cached / n as f64;
+    println!(
+        "    cached:  {:.2e} s/attempt   rebuild: {:.2e} s/attempt   ratio {:.0}×  (successes {acc})",
+        cached_each,
+        rebuilt_each,
+        rebuilt_each / cached_each.max(1e-12)
+    );
+    println!();
+    println!("[ablation done in {:.1}s]", sw.secs());
+}

@@ -1,0 +1,82 @@
+//! Figure 6: the performance trade-off triangle on QL2020.
+//!
+//! (a) scaled latency vs the offered-load fraction `f`;
+//! (b) scaled latency vs the requested minimum fidelity `Fmin`;
+//! (c) throughput vs `Fmin` ("throughput directly scales with Fmin").
+//!
+//! QL2020 scenario, `kmax = 3`, as in the paper's short runs.
+
+use qlink::prelude::*;
+use qlink_bench::{header, mean_se, run_link, scaled_secs, Stopwatch};
+
+fn run(kind: RequestKind, fraction: f64, fmin: f64, secs: SimDuration, seed: u64) -> LinkMetrics {
+    let spec = WorkloadSpec::single(kind, fraction, 3)
+        .with_fmin(fmin)
+        .with_origin(OriginPolicy::Random);
+    run_link(LinkConfig::ql2020(spec, seed), secs).metrics
+}
+
+fn main() {
+    header(
+        "fig6_tradeoffs",
+        "latency/throughput/fidelity trade-offs (QL2020, kmax = 3)",
+        "Figure 6(a)(b)(c)",
+    );
+    let sw = Stopwatch::new();
+    let secs = scaled_secs(40.0);
+
+    // Fmin 0.58 for the load sweep: feasible for both kinds on QL2020
+    // (our K-type ceiling there is 0.613 — DESIGN.md calibration note).
+    println!("(a) scaled latency vs load fraction f (Fmin = 0.58):");
+    println!("{:>6} {:>6} {:>22} {:>14}", "kind", "f", "scaled latency (s)", "T (1/s)");
+    for kind in [RequestKind::Md, RequestKind::Nl] {
+        for f in [0.7, 0.99, 1.3] {
+            let m = run(kind, f, 0.58, secs, 61);
+            let k = m.kind_total(kind);
+            println!(
+                "{:>6} {:>6.2} {:>22} {:>14.3}",
+                kind.label(),
+                f,
+                mean_se(&k.scaled_latency),
+                m.throughput(kind)
+            );
+        }
+    }
+
+    println!();
+    println!("(b)+(c) scaled latency and throughput vs Fmin (f = 0.99):");
+    println!(
+        "{:>6} {:>6} {:>22} {:>14}",
+        "kind", "Fmin", "scaled latency (s)", "T (1/s)"
+    );
+    for kind in [RequestKind::Md, RequestKind::Nl] {
+        for fmin in [0.5, 0.55, 0.6, 0.64, 0.68] {
+            let m = run(kind, 0.99, fmin, secs, 62);
+            let k = m.kind_total(kind);
+            let unsupported = m.error_count("UNSUPP");
+            if k.pairs_delivered == 0 && unsupported > 0 {
+                println!(
+                    "{:>6} {:>6.2} {:>22} {:>14}",
+                    kind.label(),
+                    fmin,
+                    "UNSUPP",
+                    "-"
+                );
+                continue;
+            }
+            println!(
+                "{:>6} {:>6.2} {:>22} {:>14.3}",
+                kind.label(),
+                fmin,
+                mean_se(&k.scaled_latency),
+                m.throughput(kind)
+            );
+        }
+    }
+    println!();
+    println!("expected shape (Fig 6): latency grows with f (queueing) and with Fmin");
+    println!("(lower α → fewer successes); throughput falls as Fmin rises; NL sits");
+    println!("far above MD on QL2020 (no emission multiplexing for K-type); the");
+    println!("highest Fmin values become unsatisfiable for NL first.");
+    println!("[fig6_tradeoffs done in {:.1}s]", sw.secs());
+}

@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the core data structures: the event
+//! queue, dense complex matrices, the attempt model (build and
+//! sample), wire codecs, and quantum channels. These guard the
+//! performance assumptions DESIGN.md relies on (O(1) sampled attempts;
+//! cheap frame codecs on every control message).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qlink::des::{DetRng, EventQueue, SimDuration};
+use qlink::math::CMatrix;
+use qlink::phys::attempt::AttemptModel;
+use qlink::phys::params::ScenarioParams;
+use qlink::quantum::bell::BellState;
+use qlink::quantum::{channels, gates, QuantumState};
+use qlink::wire::fields::AbsQueueId;
+use qlink::wire::mhp::GenMsg;
+use qlink::wire::Frame;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule_in(SimDuration::from_ps((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_matrices(c: &mut Criterion) {
+    let a = CMatrix::identity(16);
+    let bmat = gates::cnot().kron(&gates::cnot());
+    c.bench_function("cmatrix_mul_16x16", |b| b.iter(|| black_box(&a) * black_box(&bmat)));
+    c.bench_function("cmatrix_kron_4x4", |b| {
+        b.iter(|| black_box(&gates::cnot()).kron(black_box(&gates::swap())))
+    });
+}
+
+fn bench_attempt_model(c: &mut Criterion) {
+    let params = ScenarioParams::lab();
+    c.bench_function("attempt_model_build", |b| {
+        b.iter(|| AttemptModel::build(black_box(&params), black_box(0.2)))
+    });
+    let model = AttemptModel::build(&params, 0.2);
+    let mut rng = DetRng::new(1);
+    c.bench_function("attempt_model_sample", |b| {
+        b.iter(|| black_box(model.sample(&mut rng)))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let frame = Frame::Gen(GenMsg {
+        queue_id: AbsQueueId::new(2, 1234),
+        timestamp_cycle: 987_654_321,
+    });
+    c.bench_function("frame_encode_gen", |b| b.iter(|| black_box(&frame).encode()));
+    let bytes = frame.encode();
+    c.bench_function("frame_decode_gen", |b| {
+        b.iter(|| Frame::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_channels(c: &mut Criterion) {
+    c.bench_function("t1t2_decay_on_pair", |b| {
+        b.iter(|| {
+            let mut s = BellState::PsiPlus.state();
+            channels::apply_to(&mut s, &channels::t1t2_decay(1e-4, 2.86e-3, 1e-3), 0);
+            black_box(s)
+        })
+    });
+    c.bench_function("two_qubit_measurement", |b| {
+        let mut rng = DetRng::new(2);
+        b.iter(|| {
+            let mut s = BellState::PhiPlus.state();
+            let m0 = s.measure_qubit(0, qlink::quantum::Basis::Z, rng.raw());
+            let m1 = s.measure_qubit(1, qlink::quantum::Basis::Z, rng.raw());
+            black_box((m0, m1))
+        })
+    });
+    c.bench_function("quantum_state_4q_unitary", |b| {
+        b.iter(|| {
+            let mut s = QuantumState::ground(4);
+            s.apply_unitary(&gates::h(), &[0]);
+            s.apply_unitary(&gates::cnot(), &[0, 2]);
+            black_box(s)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_event_queue, bench_matrices, bench_attempt_model, bench_wire, bench_channels
+}
+criterion_main!(benches);

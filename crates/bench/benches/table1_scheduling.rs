@@ -1,0 +1,77 @@
+//! Table 1: throughput and scaled latency under FCFS versus WFQ for
+//! two request patterns on QL2020.
+//!
+//! Pattern (i): uniform load `fNL = fCK = fMD = 0.99/3`;
+//! pattern (ii): no NL, more MD (`fCK = 0.99/5`, `fMD = 0.99·4/5`).
+//! Request sizes fixed at 2 (NL), 2 (CK), 10 (MD) as in the caption.
+//! WFQ = NL strict priority, CK weight 10 × MD weight 1 (HigherWFQ).
+
+use qlink::prelude::*;
+use qlink_bench::{header, mean_se, run_link, scaled_secs, Stopwatch};
+
+fn pattern(no_nl: bool) -> WorkloadSpec {
+    // Fmin 0.60: our QL2020 K-type fidelity ceiling is 0.613, slightly
+    // below the paper's ~0.65 (see DESIGN.md calibration note); 0.60
+    // reproduces the paper's operating point (α ≈ 0.13, ~0.5 pairs/s).
+    let mut w = WorkloadSpec::from_pattern(&UsagePattern::uniform(), 0.60);
+    if no_nl {
+        w.nl.fraction = 0.0;
+        w.ck.fraction = 0.99 / 5.0;
+        w.md.fraction = 0.99 * 4.0 / 5.0;
+    } else {
+        w.nl.fraction = 0.99 / 3.0;
+        w.ck.fraction = 0.99 / 3.0;
+        w.md.fraction = 0.99 / 3.0;
+    }
+    w.nl.kmax = 2;
+    w.nl.fixed_pairs = true;
+    w.ck.kmax = 2;
+    w.ck.fixed_pairs = true;
+    w.md.kmax = 10;
+    w.md.fixed_pairs = true;
+    w
+}
+
+fn main() {
+    header(
+        "table1_scheduling",
+        "throughput (T) and scaled latency (SL) for FCFS vs WFQ (QL2020)",
+        "Table 1, §6.3",
+    );
+    let sw = Stopwatch::new();
+    // QL2020 K-type requests arrive at ~0.05/s — long runs needed for
+    // meaningful NL/CK statistics.
+    let secs = scaled_secs(150.0);
+
+    for (label, no_nl) in [("(i) uniform", false), ("(ii) no NL, more MD", true)] {
+        println!("pattern {label}:");
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} | {:>18} {:>18} {:>18}",
+            "sched", "T_NL", "T_CK", "T_MD", "SL_NL (s)", "SL_CK (s)", "SL_MD (s)"
+        );
+        for sched in [SchedulerChoice::Fcfs, SchedulerChoice::HigherWfq] {
+            let sim = run_link(
+                LinkConfig::ql2020(pattern(no_nl), 81).with_scheduler(sched),
+                secs,
+            );
+            let m = &sim.metrics;
+            let t = |k| format!("{:.3}", m.throughput(k));
+            let sl = |k: RequestKind| mean_se(&m.kind_total(k).scaled_latency);
+            println!(
+                "{:<10} {:>12} {:>12} {:>12} | {:>18} {:>18} {:>18}",
+                sched.label(),
+                if no_nl { "-".into() } else { t(RequestKind::Nl) },
+                t(RequestKind::Ck),
+                t(RequestKind::Md),
+                if no_nl { "-".into() } else { sl(RequestKind::Nl) },
+                sl(RequestKind::Ck),
+                sl(RequestKind::Md),
+            );
+        }
+        println!();
+    }
+    println!("expected shape (Table 1): WFQ cuts NL scaled latency hardest and CK");
+    println!("somewhat, raises MD latency; throughput moves far less than latency");
+    println!("(paper: max throughput change factor ≈ 1.16).");
+    println!("[table1_scheduling done in {:.1}s]", sw.secs());
+}

@@ -1,0 +1,81 @@
+//! Table 5 (§6.1): robustness to classical control-message loss.
+//!
+//! Sweeps the per-frame loss probability from a realistic ~0 through
+//! the paper's inflated 10⁻¹⁰…10⁻⁴ range and reports the relative
+//! difference of each metric versus the lossless baseline — the
+//! paper's headline robustness result is that these stay small.
+//!
+//! The preamble reproduces the Appendix D.6.1 link-budget numbers that
+//! justify calling 10⁻⁴ "unrealistically high".
+
+use qlink::classical::LinkBudget;
+use qlink::math::stats::relative_difference;
+use qlink::prelude::*;
+use qlink_bench::{header, run_link, scaled_secs, Stopwatch};
+
+struct RunOut {
+    fidelity: f64,
+    throughput: f64,
+    latency: f64,
+    oks: f64,
+    expires: u64,
+}
+
+fn run(kind: RequestKind, loss: f64, secs: SimDuration) -> RunOut {
+    let spec = WorkloadSpec::single(kind, 0.99, 3).with_origin(OriginPolicy::Random);
+    let sim = run_link(LinkConfig::lab(spec, 51).with_classical_loss(loss), secs);
+    let k = sim.metrics.kind_total(kind);
+    RunOut {
+        fidelity: k.fidelity.mean(),
+        throughput: sim.metrics.throughput(kind),
+        latency: k.scaled_latency.mean(),
+        oks: k.pairs_delivered as f64,
+        expires: sim.egp(0).expires_sent() + sim.egp(1).expires_sent(),
+    }
+}
+
+fn main() {
+    header(
+        "table5_robustness",
+        "metric shifts under inflated classical loss (vs lossless baseline)",
+        "Table 5, §6.1, Appendix D.6.1",
+    );
+    let sw = Stopwatch::new();
+
+    println!("Appendix D.6.1 — realistic 1000BASE-ZX frame error rates:");
+    let lb = LinkBudget::gigabit_1000base_zx();
+    println!("  15 km, 0 splices          : {:.1e}", lb.frame_error_rate(15.0));
+    println!("  20 km, 0 splices          : {:.1e}", lb.frame_error_rate(20.0));
+    let s30 = LinkBudget::gigabit_1000base_zx().with_splices(30, 0.3);
+    println!("  15 km, 30 × 0.3 dB splices: {:.1e}", s30.frame_error_rate(15.0));
+    let s21 = LinkBudget::gigabit_1000base_zx().with_splices(21, 0.3);
+    println!("  20 km, 21 × 0.3 dB splices: {:.1e}", s21.frame_error_rate(20.0));
+    println!();
+
+    let secs = scaled_secs(12.0);
+    for kind in [RequestKind::Md, RequestKind::Nl] {
+        println!("kind {} (f = 0.99, kmax = 3, Lab):", kind.label());
+        let base = run(kind, 0.0, secs);
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "ploss", "rd fidel", "rd thru", "rd laten", "rd #OKs", "expires"
+        );
+        for loss in [1e-10, 1e-8, 1e-6, 1e-4] {
+            let out = run(kind, loss, secs);
+            println!(
+                "{:>8.0e} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8}",
+                loss,
+                relative_difference(base.fidelity, out.fidelity),
+                relative_difference(base.throughput, out.throughput),
+                relative_difference(base.latency, out.latency),
+                relative_difference(base.oks, out.oks),
+                out.expires,
+            );
+        }
+        println!();
+    }
+    println!("expected shape (Table 5): relative differences stay ≲ 0.05 for");
+    println!("fidelity/throughput/#OKs with latency noisier (paper saw up to 0.63");
+    println!("on latency purely from run-to-run fluctuation), and no EXPIRE storms.");
+    println!("[table5_robustness done in {:.1}s]", sw.secs());
+}

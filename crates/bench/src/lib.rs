@@ -1,0 +1,66 @@
+//! Shared support for the benchmark harness.
+//!
+//! Each bench target (one per table/figure of the paper, see
+//! `DESIGN.md`) uses these helpers to run scaled-down versions of the
+//! paper's scenarios and print rows in the same shape the paper
+//! reports. Scale the simulated duration with the environment variable
+//! `QLINK_BENCH_SCALE` (default 1.0; e.g. `QLINK_BENCH_SCALE=5` for
+//! longer, lower-variance runs).
+
+use qlink::prelude::*;
+
+/// Simulated seconds for a nominal run, honouring `QLINK_BENCH_SCALE`.
+pub fn scaled_secs(nominal: f64) -> SimDuration {
+    let scale = std::env::var("QLINK_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0)
+        .max(0.05);
+    SimDuration::from_secs_f64(nominal * scale)
+}
+
+/// Runs a link for `secs` simulated seconds and returns it.
+pub fn run_link(cfg: LinkConfig, secs: SimDuration) -> LinkSimulation {
+    let mut sim = LinkSimulation::new(cfg);
+    sim.run_for(secs);
+    sim
+}
+
+/// Prints a standard bench header.
+pub fn header(id: &str, what: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{id}: {what}");
+    println!("reproduces: {paper_ref}");
+    println!("================================================================");
+}
+
+/// Formats a mean with its standard error the way the paper's tables
+/// do: `1.234 (0.056)`.
+pub fn mean_se(stats: &qlink::math::stats::RunningStats) -> String {
+    if stats.count() == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.3} ({:.3})", stats.mean(), stats.stderr())
+    }
+}
+
+/// Wall-clock timer for run banners.
+pub struct Stopwatch(std::time::Instant);
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn new() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Seconds elapsed.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}

@@ -1,0 +1,262 @@
+//! The event queue at the heart of the simulator.
+//!
+//! Events are totally ordered by `(firing time, insertion sequence)`:
+//! two events scheduled for the same instant fire in the order they were
+//! scheduled. Combined with seeded randomness this makes every run
+//! bit-reproducible, which the evaluation harness relies on (the paper's
+//! Table 5 compares metrics across runs that differ *only* in the
+//! classical-loss probability).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest first.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// `E` is the caller's event type; the queue is agnostic to its content.
+/// The queue tracks the current simulated time: popping an event
+/// advances the clock to that event's firing time.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulated time (the firing time of the most recently
+    /// popped event, or the horizon passed to [`EventQueue::pop_until`]).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events fired so far (for run statistics).
+    pub fn events_fired(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — the DES never rewinds.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest event unconditionally, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now);
+        self.now = s.at;
+        self.popped += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Pops the earliest event if it fires at or before `horizon`.
+    ///
+    /// If the next event is later (or the queue is empty), advances the
+    /// clock to `horizon` and returns `None` — the standard way to run a
+    /// simulation "for N seconds".
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => {
+                if horizon > self.now {
+                    self.now = horizon;
+                }
+                None
+            }
+        }
+    }
+
+    /// Discards all pending events (the clock is unchanged).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_in(us(30), "c");
+        q.schedule_in(us(10), "a");
+        q.schedule_in(us(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.schedule_in(us(5), label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(us(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::ZERO + us(7));
+        assert_eq!(q.now(), t);
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule_in(us(10), "early");
+        q.schedule_in(us(100), "late");
+        let horizon = SimTime::ZERO + us(50);
+        assert_eq!(q.pop_until(horizon).map(|(_, e)| e), Some("early"));
+        assert_eq!(q.pop_until(horizon), None);
+        // Clock parked at the horizon; the late event still pending.
+        assert_eq!(q.now(), horizon);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_until_empty_queue_advances_clock() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let horizon = SimTime::ZERO + us(42);
+        assert_eq!(q.pop_until(horizon), None);
+        assert_eq!(q.now(), horizon);
+    }
+
+    #[test]
+    fn schedule_during_drain() {
+        // Events scheduled while draining interleave correctly.
+        let mut q = EventQueue::new();
+        q.schedule_in(us(10), 1u32);
+        let mut fired = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            fired.push(e);
+            if e == 1 {
+                q.schedule_in(us(5), 2u32);
+                q.schedule_in(us(1), 3u32);
+            }
+        }
+        assert_eq!(fired, [1, 3, 2]);
+    }
+
+    #[test]
+    fn events_fired_counter() {
+        let mut q = EventQueue::new();
+        for _ in 0..5 {
+            q.schedule_in(us(1), ());
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.events_fired(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_in(us(10), ());
+        q.pop();
+        q.schedule_at(SimTime::ZERO, ());
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_in(us(10), ());
+        q.pop();
+        q.schedule_in(us(10), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO + us(10));
+    }
+
+    #[test]
+    fn determinism_large_interleaving() {
+        // Two identical schedules produce identical pop sequences.
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule_in(SimDuration::from_ps((i * 37) % 101), i);
+            }
+            let mut out = Vec::new();
+            while let Some((t, e)) = q.pop() {
+                out.push((t, e));
+            }
+            out
+        };
+        assert_eq!(build(), build());
+    }
+}

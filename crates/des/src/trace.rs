@@ -1,0 +1,185 @@
+//! Time-series recording for evaluation figures.
+//!
+//! The paper's appendix plots latency and throughput against simulated
+//! time (Figures 11–22). [`TimeSeries`] collects `(time, value)` samples
+//! and can re-bin them into fixed windows — which is exactly how a
+//! "throughput vs time" series is derived from individual OK events.
+
+use crate::time::{SimDuration, SimTime};
+
+/// An append-only series of timestamped samples.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { samples: Vec::new() }
+    }
+
+    /// Appends a sample. Timestamps must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the previous sample (DES time is monotone).
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(t >= last, "time-series must be monotone: {t:?} < {last:?}");
+        }
+        self.samples.push((t, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrow the raw samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Mean of all sample values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Re-bins into windows of `width`, returning
+    /// `(window start, count, value sum)` per window over `[0, end]`.
+    /// Windows with no samples are included with zero count.
+    pub fn binned(&self, width: SimDuration, end: SimTime) -> Vec<Bin> {
+        assert!(!width.is_zero(), "zero bin width");
+        let n_bins = end.since(SimTime::ZERO).as_ps().div_ceil(width.as_ps());
+        let mut bins: Vec<Bin> = (0..n_bins.max(1))
+            .map(|i| Bin {
+                start: SimTime::from_ps(i * width.as_ps()),
+                count: 0,
+                sum: 0.0,
+            })
+            .collect();
+        for &(t, v) in &self.samples {
+            if t > end {
+                break;
+            }
+            let idx = (t.as_ps() / width.as_ps()).min(bins.len() as u64 - 1) as usize;
+            bins[idx].count += 1;
+            bins[idx].sum += v;
+        }
+        bins
+    }
+
+    /// Event *rate* per second in each window — the throughput series of
+    /// the paper's appendix figures, where each pushed sample is one
+    /// delivered pair.
+    pub fn rate_per_second(&self, width: SimDuration, end: SimTime) -> Vec<(SimTime, f64)> {
+        let w = width.as_secs_f64();
+        self.binned(width, end)
+            .into_iter()
+            .map(|b| (b.start, b.count as f64 / w))
+            .collect()
+    }
+}
+
+/// One aggregation window of a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Window start time.
+    pub start: SimTime,
+    /// Number of samples in the window.
+    pub count: u64,
+    /// Sum of sample values in the window.
+    pub sum: f64,
+}
+
+impl Bin {
+    /// Mean sample value in the window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn push_and_mean() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(1), 2.0);
+        ts.push(t(2), 4.0);
+        assert_eq!(ts.len(), 2);
+        assert!((ts.mean() - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_push_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(2), 0.0);
+        ts.push(t(1), 0.0);
+    }
+
+    #[test]
+    fn binning_counts_and_sums() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0), 1.0);
+        ts.push(t(1), 2.0);
+        ts.push(t(5), 10.0);
+        let bins = ts.binned(SimDuration::from_secs(2), t(6));
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0].count, 2);
+        assert!((bins[0].sum - 3.0).abs() < 1e-15);
+        assert_eq!(bins[1].count, 0);
+        assert_eq!(bins[2].count, 1);
+        assert!((bins[2].mean() - 10.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rate_per_second() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(SimTime::from_ps(i * 100_000_000_000), 1.0); // every 0.1 s
+        }
+        let rates = ts.rate_per_second(SimDuration::from_secs(1), t(1));
+        assert_eq!(rates.len(), 1);
+        assert!((rates[0].1 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_beyond_end_excluded() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(1), 1.0);
+        ts.push(t(10), 1.0);
+        let bins = ts.binned(SimDuration::from_secs(2), t(4));
+        let total: u64 = bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), 0.0);
+        let bins = ts.binned(SimDuration::from_secs(1), t(3));
+        assert_eq!(bins.len(), 3);
+        assert!(bins.iter().all(|b| b.count == 0));
+    }
+}

@@ -1,0 +1,181 @@
+//! EGP schedulers (§5.2.4, evaluated in §6.3).
+//!
+//! Any scheduling strategy works "as long as it is deterministic,
+//! ensuring that both nodes select the same request locally" — so
+//! selection here is a *pure function* of synchronized queue state
+//! (fields carried in DQP frames), never of local arrival times.
+//!
+//! Two families from the paper's evaluation:
+//!
+//! * **FCFS** — a single logical first-come-first-serve queue.
+//! * **Strict + WFQ** — NL (priority-1) requests always go first;
+//!   remaining queues share via weighted fair queueing on the virtual
+//!   finish times the master stamped into each item (the paper's
+//!   `LowerWFQ` weights CK:MD = 2:1, `HigherWFQ` = 10:1).
+
+use crate::dqueue::QueueEntry;
+use qlink_wire::fields::AbsQueueId;
+
+/// Scheduling policy for the EGP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// First-come-first-serve across all queues (arrival order =
+    /// `min_time`, tie-broken by queue ID — all synchronized fields).
+    Fcfs,
+    /// The listed queues (in order) get strict priority; all other
+    /// queues share by smallest WFQ virtual finish time.
+    StrictThenWfq {
+        /// Queue indices with strict priority, highest first.
+        strict: Vec<u8>,
+    },
+}
+
+impl SchedulerPolicy {
+    /// The paper's FCFS baseline.
+    pub fn fcfs() -> Self {
+        SchedulerPolicy::Fcfs
+    }
+
+    /// The paper's WFQ schedulers: NL (queue 0) strict, CK/MD weighted
+    /// (weights live in the distributed queue's config — see
+    /// [`crate::dqueue::DqueueConfig::wfq_weights`]).
+    pub fn nl_strict_wfq() -> Self {
+        SchedulerPolicy::StrictThenWfq { strict: vec![0] }
+    }
+
+    /// Picks the next request to serve among `ready` items.
+    ///
+    /// `ready` must already be filtered to schedulable items (state,
+    /// `min_time`, timeout, resources); both nodes produce identical
+    /// `ready` sets from their synchronized queues, so both pick the
+    /// same item.
+    pub fn select<'a>(&self, ready: impl Iterator<Item = &'a QueueEntry>) -> Option<AbsQueueId> {
+        match self {
+            SchedulerPolicy::Fcfs => ready
+                .min_by(|a, b| {
+                    (a.schedule_cycle, a.aid.qid, a.aid.qseq)
+                        .cmp(&(b.schedule_cycle, b.aid.qid, b.aid.qseq))
+                })
+                .map(|e| e.aid),
+            SchedulerPolicy::StrictThenWfq { strict } => {
+                let items: Vec<&QueueEntry> = ready.collect();
+                // Strict classes first, in listed order, FCFS within.
+                for &q in strict {
+                    if let Some(e) = items
+                        .iter()
+                        .filter(|e| e.aid.qid == q)
+                        .min_by_key(|e| (e.schedule_cycle, e.aid.qseq))
+                    {
+                        return Some(e.aid);
+                    }
+                }
+                // WFQ among the rest: smallest virtual finish time.
+                items
+                    .iter()
+                    .filter(|e| !strict.contains(&e.aid.qid))
+                    .min_by(|a, b| {
+                        a.virtual_finish
+                            .partial_cmp(&b.virtual_finish)
+                            .expect("virtual finish is finite")
+                            .then((a.aid.qid, a.aid.qseq).cmp(&(b.aid.qid, b.aid.qseq)))
+                    })
+                    .map(|e| e.aid)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+    use qlink_wire::fields::{Fidelity16, RequestFlags};
+
+    fn entry(qid: u8, qseq: u16, schedule: u64, vf: f64) -> QueueEntry {
+        QueueEntry {
+            aid: AbsQueueId::new(qid, qseq),
+            origin: RequestId {
+                origin: 1,
+                create_id: qseq,
+            },
+            schedule_cycle: schedule,
+            timeout_cycle: u64::MAX,
+            min_fidelity: Fidelity16::from_f64(0.6),
+            purpose_id: 0,
+            num_pairs: 1,
+            priority: qid,
+            virtual_finish: vf,
+            est_cycles_per_pair: 1000,
+            flags: RequestFlags::default(),
+        }
+    }
+
+    #[test]
+    fn fcfs_picks_earliest_schedule_cycle() {
+        let items = [
+            entry(2, 0, 300, 0.0),
+            entry(0, 0, 100, 0.0),
+            entry(1, 0, 200, 0.0),
+        ];
+        let pick = SchedulerPolicy::fcfs().select(items.iter()).unwrap();
+        assert_eq!(pick, AbsQueueId::new(0, 0));
+    }
+
+    #[test]
+    fn fcfs_tie_breaks_by_queue_then_seq() {
+        let items = [entry(1, 5, 100, 0.0), entry(1, 3, 100, 0.0), entry(0, 9, 100, 0.0)];
+        let pick = SchedulerPolicy::fcfs().select(items.iter()).unwrap();
+        assert_eq!(pick, AbsQueueId::new(0, 9));
+    }
+
+    #[test]
+    fn strict_priority_wins_regardless_of_vf() {
+        let items = [
+            entry(0, 7, 900, 1e9), // NL, late arrival, huge VF
+            entry(1, 0, 100, 1.0), // CK, tiny VF
+            entry(2, 0, 100, 2.0), // MD
+        ];
+        let pick = SchedulerPolicy::nl_strict_wfq().select(items.iter()).unwrap();
+        assert_eq!(pick, AbsQueueId::new(0, 7), "NL must preempt");
+    }
+
+    #[test]
+    fn wfq_picks_smallest_virtual_finish() {
+        let items = [
+            entry(1, 0, 100, 50.0), // CK
+            entry(2, 0, 100, 10.0), // MD with earlier finish
+        ];
+        let pick = SchedulerPolicy::nl_strict_wfq().select(items.iter()).unwrap();
+        assert_eq!(pick, AbsQueueId::new(2, 0));
+    }
+
+    #[test]
+    fn empty_ready_set_selects_nothing() {
+        assert_eq!(SchedulerPolicy::fcfs().select([].iter()), None);
+        assert_eq!(SchedulerPolicy::nl_strict_wfq().select([].iter()), None);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        // Two scheduler instances over the same items agree — the
+        // property §5.2.4 requires for the two nodes.
+        let items = [
+            entry(1, 4, 120, 33.0),
+            entry(2, 2, 110, 21.0),
+            entry(1, 5, 105, 34.0),
+        ];
+        let a = SchedulerPolicy::nl_strict_wfq().select(items.iter());
+        let b = SchedulerPolicy::nl_strict_wfq().select(items.iter());
+        assert_eq!(a, b);
+        let c = SchedulerPolicy::fcfs().select(items.iter());
+        let d = SchedulerPolicy::fcfs().select(items.iter());
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn wfq_ties_break_deterministically() {
+        let items = [entry(1, 1, 100, 10.0), entry(2, 0, 100, 10.0)];
+        let pick = SchedulerPolicy::nl_strict_wfq().select(items.iter()).unwrap();
+        assert_eq!(pick, AbsQueueId::new(1, 1), "equal VF → lower queue id");
+    }
+}

@@ -1,0 +1,181 @@
+//! Ratios of modified Bessel functions of the first kind.
+//!
+//! The paper's optical-phase-uncertainty model (Appendix D.4.2, eq. (28))
+//! needs the ratio `I1(x)/I0(x)` where `x = σ(φ)⁻²` and σ(φ) is the
+//! standard deviation of the interferometric phase. The paper cites
+//! Amos, *Computation of Modified Bessel Functions and Their Ratios*
+//! (Math. Comp. 28, 1974) for an efficient evaluation; the
+//! continued-fraction below (Gauss CF evaluated with the modified Lentz
+//! algorithm) is the core of that family of methods and is accurate to
+//! machine precision for all `x > 0`.
+
+/// Computes the ratio `I_{ν+1}(x) / I_ν(x)` for `x ≥ 0` and integer `ν ≥ 0`.
+///
+/// Uses the continued fraction
+/// `I_{ν+1}(x)/I_ν(x) = 1 / (2(ν+1)/x + 1 / (2(ν+2)/x + …))`,
+/// evaluated with the modified Lentz algorithm. For `x = 0` the ratio is 0.
+///
+/// # Panics
+/// Panics if `x` is negative or non-finite.
+pub fn bessel_i_ratio(nu: u32, x: f64) -> f64 {
+    assert!(x.is_finite() && x >= 0.0, "bessel_i_ratio: invalid x = {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+
+    // Modified Lentz for b0 + a1/(b1 + a2/(b2 + ...)) with b0 = 0,
+    // a_k = 1, b_k = 2(ν+k)/x.
+    const TINY: f64 = 1e-300;
+    const EPS: f64 = 1e-15;
+    let mut f = TINY;
+    let mut c = TINY;
+    let mut d = 0.0_f64;
+    for k in 1..=10_000u32 {
+        let b = 2.0 * (nu as f64 + k as f64) / x;
+        d += b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + 1.0 / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < EPS {
+            return f;
+        }
+    }
+    f
+}
+
+/// Convenience wrapper: `I1(x)/I0(x)`.
+///
+/// This is exactly the quantity in the paper's eq. (28):
+/// `p_d = (1 − I1(σ⁻²)/I0(σ⁻²)) / 2`.
+#[inline]
+pub fn i1_over_i0(x: f64) -> f64 {
+    bessel_i_ratio(0, x)
+}
+
+/// The phase-uncertainty dephasing parameter of paper eq. (28).
+///
+/// Given the standard deviation `sigma` (radians) of the optical phase
+/// in eq. (29), returns `p_d = (1 − I1(σ⁻²)/I0(σ⁻²)) / 2`.
+///
+/// A perfectly stable phase (`sigma → 0`) gives `p_d → 0`; a completely
+/// random phase gives `p_d → 1/2` (full dephasing).
+pub fn phase_uncertainty_dephasing(sigma: f64) -> f64 {
+    assert!(sigma.is_finite() && sigma >= 0.0, "invalid sigma = {sigma}");
+    if sigma == 0.0 {
+        return 0.0;
+    }
+    let x = sigma.powi(-2);
+    (1.0 - i1_over_i0(x)) / 2.0
+}
+
+/// Direct power-series evaluation of `I_ν(x)` for small/moderate `x`.
+///
+/// Exposed for cross-checking the continued fraction in tests; not used
+/// on the hot path.
+pub fn bessel_i_series(nu: u32, x: f64) -> f64 {
+    let half_x = x / 2.0;
+    let mut term = half_x.powi(nu as i32) / factorial(nu as u64);
+    let mut sum = term;
+    for k in 1..200u64 {
+        term *= half_x * half_x / (k as f64 * (k as f64 + nu as f64));
+        sum += term;
+        if term < sum * 1e-17 {
+            break;
+        }
+    }
+    sum
+}
+
+fn factorial(n: u64) -> f64 {
+    (1..=n).fold(1.0, |acc, k| acc * k as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_power_series_small_x() {
+        for &x in &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            let cf = i1_over_i0(x);
+            let series = bessel_i_series(1, x) / bessel_i_series(0, x);
+            assert!(
+                (cf - series).abs() < 1e-12,
+                "x={x}: cf={cf}, series={series}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        // Reference values computed with mpmath (30 significant digits):
+        // I1(1)/I0(1)   = 0.446389965896534507
+        // I1(2)/I0(2)   = 0.697774657964007982
+        // I1(10)/I0(10) = 0.948599825954845959
+        assert!((i1_over_i0(1.0) - 0.446_389_965_896_534_5).abs() < 1e-12);
+        assert!((i1_over_i0(2.0) - 0.697_774_657_964_008).abs() < 1e-12);
+        assert!((i1_over_i0(10.0) - 0.948_599_825_954_846).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_x_asymptote() {
+        // I1(x)/I0(x) → 1 - 1/(2x) - 1/(8x²) - 1/(8x³) + O(x⁻⁴) as x → ∞.
+        for &x in &[50.0, 100.0, 1000.0] {
+            let r = i1_over_i0(x);
+            let asym = 1.0 - 1.0 / (2.0 * x) - 1.0 / (8.0 * x * x) - 1.0 / (8.0 * x * x * x);
+            assert!((r - asym).abs() < 1e-7, "x={x}: r={r}, asym={asym}");
+        }
+    }
+
+    #[test]
+    fn ratio_is_monotone_in_x() {
+        let mut prev = 0.0;
+        for k in 1..200 {
+            let x = k as f64 * 0.25;
+            let r = i1_over_i0(x);
+            assert!(r > prev, "ratio must increase with x");
+            assert!(r < 1.0, "ratio must stay below 1");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn higher_order_ratios_ordered() {
+        // For fixed x, I_{ν+1}/I_ν decreases with ν.
+        let x = 3.0;
+        let r0 = bessel_i_ratio(0, x);
+        let r1 = bessel_i_ratio(1, x);
+        let r2 = bessel_i_ratio(2, x);
+        assert!(r0 > r1 && r1 > r2);
+    }
+
+    #[test]
+    fn dephasing_limits() {
+        assert_eq!(phase_uncertainty_dephasing(0.0), 0.0);
+        // Huge sigma → x tiny → ratio → 0 → p_d → 1/2.
+        assert!((phase_uncertainty_dephasing(1e6) - 0.5).abs() < 1e-6);
+        // Paper value: σ = 14.3°/√2 in radians.
+        let sigma = 14.3_f64.to_radians() / std::f64::consts::SQRT_2;
+        let pd = phase_uncertainty_dephasing(sigma);
+        assert!(pd > 0.0 && pd < 0.05, "Lab-scale dephasing should be small: {pd}");
+    }
+
+    #[test]
+    fn zero_x_ratio_is_zero() {
+        assert_eq!(bessel_i_ratio(0, 0.0), 0.0);
+        assert_eq!(bessel_i_ratio(3, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid x")]
+    fn negative_x_panics() {
+        bessel_i_ratio(0, -1.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Double-precision complex numbers.
+//!
+//! A small, dependency-free complex type. Only the operations needed by
+//! the quantum substrate are provided; the API mirrors what one would
+//! expect from `num_complex::Complex64`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The complex zero, `0 + 0i`.
+pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+/// The complex one, `1 + 0i`.
+pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+/// The imaginary unit, `0 + 1i`.
+pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Returns `e^{iθ}` (a unit-modulus phase factor).
+    #[inline]
+    pub fn phase(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex square root on the principal branch.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        Complex::phase(theta / 2.0) * r.sqrt()
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns NaN components when `z == 0`, matching `f64` semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if `|self - other| <= tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl fmt::Debug for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs * self
+    }
+}
+
+#[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal is the intended math
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + ZERO, z);
+        assert_eq!(z * ONE, z);
+        assert_eq!(z - z, ZERO);
+        assert!((z * z.recip()).approx_eq(ONE, 1e-12));
+    }
+
+    #[test]
+    fn modulus_and_conjugate() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        // z * conj(z) = |z|^2
+        assert!((z * z.conj()).approx_eq(Complex::real(25.0), 1e-12));
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        let p = a * b;
+        assert!((p.re - (1.0 * -3.0 - 2.0 * 0.5)).abs() < 1e-15);
+        assert!((p.im - (1.0 * 0.5 + 2.0 * -3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn phase_is_unit_modulus() {
+        for k in 0..=16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let p = Complex::phase(theta);
+            assert!((p.abs() - 1.0).abs() < 1e-12);
+            assert!((p.arg() - theta).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((I * I).approx_eq(Complex::real(-1.0), 1e-15));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (0.0, 2.0), (-1.0, 0.0), (3.0, -4.0)] {
+            let z = Complex::new(re, im);
+            let r = z.sqrt();
+            assert!((r * r).approx_eq(z, 1e-12), "sqrt({z:?})² = {:?}", r * r);
+        }
+    }
+
+    #[test]
+    fn division() {
+        let a = Complex::new(1.0, 1.0);
+        let b = Complex::new(0.0, 1.0);
+        assert!((a / b).approx_eq(Complex::new(1.0, -1.0), 1e-12));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let zs = [Complex::new(1.0, 1.0), Complex::new(2.0, -0.5)];
+        let s: Complex = zs.iter().copied().sum();
+        assert!(s.approx_eq(Complex::new(3.0, 0.5), 1e-15));
+    }
+}

@@ -1,0 +1,118 @@
+//! Scalar root finding.
+//!
+//! The link layer's Fidelity Estimation Unit (paper §5.2.3) must translate
+//! a requested minimum fidelity `Fmin` into hardware generation parameters
+//! — concretely, the bright-state population `α`, because the produced
+//! fidelity behaves like `F ≈ 1 − α` (plus additional noise). That
+//! inversion is a one-dimensional root find on a monotone function, which
+//! bisection solves robustly without derivatives.
+
+/// Result of a bisection search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BisectResult {
+    /// A root was bracketed and refined to the requested tolerance.
+    Converged(f64),
+    /// `f` has the same sign at both ends of the interval; the endpoint
+    /// with the smaller `|f|` is reported.
+    NoSignChange(f64),
+}
+
+impl BisectResult {
+    /// The located abscissa, regardless of convergence status.
+    pub fn value(self) -> f64 {
+        match self {
+            BisectResult::Converged(x) | BisectResult::NoSignChange(x) => x,
+        }
+    }
+
+    /// `true` when a sign change was found and refined.
+    pub fn converged(self) -> bool {
+        matches!(self, BisectResult::Converged(_))
+    }
+}
+
+/// Finds `x ∈ [lo, hi]` with `f(x) ≈ 0` by bisection.
+///
+/// Requires `lo < hi`. Runs until the bracket is narrower than `xtol` or
+/// `max_iter` iterations elapse. If `f(lo)` and `f(hi)` have the same
+/// sign, returns [`BisectResult::NoSignChange`] with the better endpoint
+/// (callers such as the FEU use this to mean "requested fidelity is out
+/// of range — clamp to the achievable extreme").
+///
+/// # Panics
+/// Panics if `lo >= hi` or either bound is non-finite.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, xtol: f64, max_iter: u32) -> BisectResult {
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bisect: bad interval [{lo}, {hi}]");
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return BisectResult::Converged(a);
+    }
+    if fb == 0.0 {
+        return BisectResult::Converged(b);
+    }
+    if fa.signum() == fb.signum() {
+        return BisectResult::NoSignChange(if fa.abs() <= fb.abs() { a } else { b });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (a + b);
+        if b - a < xtol {
+            return BisectResult::Converged(mid);
+        }
+        let fm = f(mid);
+        if fm == 0.0 {
+            return BisectResult::Converged(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    BisectResult::Converged(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200);
+        assert!(r.converged());
+        assert!((r.value() - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn root_at_endpoint() {
+        let r = bisect(|x| x, 0.0, 1.0, 1e-12, 100);
+        assert!(r.converged());
+        assert_eq!(r.value(), 0.0);
+    }
+
+    #[test]
+    fn no_sign_change_reports_best_endpoint() {
+        // f > 0 everywhere on [1, 2]; closer endpoint is 1.
+        let r = bisect(|x| x * x + 1.0, 1.0, 2.0, 1e-12, 100);
+        assert!(!r.converged());
+        assert_eq!(r.value(), 1.0);
+    }
+
+    #[test]
+    fn decreasing_function() {
+        // F(α) ≈ 1 − α inversion shape: decreasing in α.
+        let target = 0.64;
+        let r = bisect(|a| (1.0 - a) - target, 0.0, 0.5, 1e-12, 200);
+        assert!(r.converged());
+        assert!((r.value() - 0.36).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad interval")]
+    fn inverted_interval_panics() {
+        bisect(|x| x, 1.0, 0.0, 1e-12, 10);
+    }
+}

@@ -1,0 +1,238 @@
+//! Streaming summary statistics for the evaluation harness.
+//!
+//! The paper reports averages with standard errors (Tables 1, 3, 4), and
+//! Section 6.1 compares runs with the *relative difference*
+//! `|m1 − m2| / max(|m1|, |m2|)`. Both live here, together with a simple
+//! linear-interpolation helper used by the classical frame-error model
+//! (Appendix D.6.1 interpolates measured SNR→FER points).
+
+/// Numerically stable streaming mean / variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / √n`, as used for the
+    /// parenthesised values in the paper's Tables 1 and 4.
+    pub fn stderr(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The paper's relative-difference metric (Section 6.1, footnote 2):
+/// `|m1 − m2| / max(|m1|, |m2|)`. Returns 0 when both inputs are 0.
+pub fn relative_difference(m1: f64, m2: f64) -> f64 {
+    let denom = m1.abs().max(m2.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (m1 - m2).abs() / denom
+    }
+}
+
+/// Piecewise-linear interpolation through `(x, y)` points sorted by `x`.
+///
+/// Values outside the table are clamped to the end points — matching the
+/// way Appendix D.6.1 extends the measured SNR→FER table.
+///
+/// # Panics
+/// Panics if `points` is empty or not sorted by strictly increasing `x`.
+pub fn interp_clamped(points: &[(f64, f64)], x: f64) -> f64 {
+    assert!(!points.is_empty(), "interp_clamped: empty table");
+    for w in points.windows(2) {
+        assert!(w[0].0 < w[1].0, "interp_clamped: x values must increase");
+    }
+    if x <= points[0].0 {
+        return points[0].1;
+    }
+    if x >= points[points.len() - 1].0 {
+        return points[points.len() - 1].1;
+    }
+    for w in points.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if x <= x1 {
+            let t = (x - x0) / (x1 - x0);
+            return y0 + t * (y1 - y0);
+        }
+    }
+    unreachable!("clamped above")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance_match_closed_form() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.stderr() - s.stddev() / (8f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&RunningStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+
+        let mut empty = RunningStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 2);
+        assert!((empty.mean() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relative_difference_properties() {
+        assert_eq!(relative_difference(0.0, 0.0), 0.0);
+        assert_eq!(relative_difference(5.0, 5.0), 0.0);
+        assert!((relative_difference(1.0, 2.0) - 0.5).abs() < 1e-15);
+        // Symmetric.
+        assert_eq!(relative_difference(3.0, 7.0), relative_difference(7.0, 3.0));
+        // Bounded by 1 for same-sign values, can reach 2 for opposite signs.
+        assert!(relative_difference(1.0, 1e9) <= 1.0);
+    }
+
+    #[test]
+    fn interp_interior_and_clamps() {
+        let table = [(0.0, 0.0), (1.0, 10.0), (3.0, 30.0)];
+        assert_eq!(interp_clamped(&table, -5.0), 0.0);
+        assert_eq!(interp_clamped(&table, 0.5), 5.0);
+        assert_eq!(interp_clamped(&table, 2.0), 20.0);
+        assert_eq!(interp_clamped(&table, 99.0), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn interp_unsorted_panics() {
+        interp_clamped(&[(1.0, 0.0), (0.0, 1.0)], 0.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! NV-centre hardware model, heralding-station optics, and the
+//! physical-layer MHP protocol.
+//!
+//! This crate is the Rust equivalent of the paper's "physical layer":
+//! everything below the EGP.
+//!
+//! * [`params`] — the device parameter tables: Table 6 gate/coherence
+//!   values, the optical constants of Appendix D.4, and the two
+//!   evaluation scenarios (**Lab**, 2 m; **QL2020**, ≈25 km).
+//! * [`station`] — the heralding station: beam-splitter measurement of
+//!   two partially distinguishable photons (the POVM derived in
+//!   Appendix D.5, eqs. (90)–(97)) plus detector efficiency and dark
+//!   counts (D.4.8).
+//! * [`attempt`] — the full single-click noise chain of Appendix D.4
+//!   composed into an [`attempt::AttemptModel`]: the exact outcome
+//!   distribution and conditional post-herald electron-electron states
+//!   for one entanglement generation attempt. Precomputed once per
+//!   `(scenario, α)` and then sampled in O(1) per attempt — the same
+//!   physics as simulating every attempt, orders of magnitude faster
+//!   (cross-validated by tests).
+//! * [`pair`] — a heralded entangled pair as a live quantum state with
+//!   lazy `T1`/`T2` decoherence, generation-induced dephasing
+//!   (eq. (25)), and the move-to-carbon operation.
+//! * [`mhp`] — Protocol 1: the node-side Midpoint Heralding Protocol
+//!   machine and the midpoint service, as sans-IO state machines
+//!   (inputs in, frames/results out) in the smoltcp style.
+
+pub mod attempt;
+pub mod mhp;
+pub mod pair;
+pub mod params;
+pub mod station;
+
+pub use attempt::{AttemptModel, AttemptOutcome};
+pub use pair::{PairState, QubitKind};
+pub use params::{NvParams, OpticalParams, Scenario, ScenarioParams};

@@ -1,0 +1,200 @@
+//! Quantum gates.
+//!
+//! Besides the textbook single- and two-qubit gates, this module includes
+//! the NV-platform native operation of paper Appendix D.2.2: the
+//! electron-controlled carbon rotation (eq. (22)), from which the
+//! controlled-√X used for moving states into the carbon memory is built.
+
+use qlink_math::complex::{Complex, I, ONE, ZERO};
+use qlink_math::CMatrix;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// The 2×2 identity.
+pub fn id2() -> CMatrix {
+    CMatrix::identity(2)
+}
+
+/// Pauli-X (bit flip): `X|x⟩ = |x ⊕ 1⟩` (paper §A.2).
+pub fn x() -> CMatrix {
+    CMatrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0])
+}
+
+/// Pauli-Y.
+pub fn y() -> CMatrix {
+    CMatrix::from_rows(2, 2, &[ZERO, -I, I, ZERO])
+}
+
+/// Pauli-Z (phase flip): `Z|x⟩ = (−1)^x |x⟩` (paper §A.2).
+pub fn z() -> CMatrix {
+    CMatrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0])
+}
+
+/// Hadamard.
+pub fn h() -> CMatrix {
+    CMatrix::from_real(2, 2, &[FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2])
+}
+
+/// Phase gate `S = diag(1, i)`.
+pub fn s() -> CMatrix {
+    CMatrix::diagonal(&[ONE, I])
+}
+
+/// Rotation about the X axis: `RX(θ) = exp(−iθX/2)`.
+pub fn rx(theta: f64) -> CMatrix {
+    let c = Complex::real((theta / 2.0).cos());
+    let s = Complex::new(0.0, -(theta / 2.0).sin());
+    CMatrix::from_rows(2, 2, &[c, s, s, c])
+}
+
+/// Rotation about the Y axis: `RY(θ) = exp(−iθY/2)`.
+pub fn ry(theta: f64) -> CMatrix {
+    let c = (theta / 2.0).cos();
+    let s = (theta / 2.0).sin();
+    CMatrix::from_real(2, 2, &[c, -s, s, c])
+}
+
+/// Rotation about the Z axis: `RZ(θ) = exp(−iθZ/2)`.
+///
+/// On the NV carbon spin this is "free": the nuclear spin precesses
+/// around Z continuously, so RZ is implemented by waiting (Appendix
+/// D.2.2, "Carbon Rot-Z").
+pub fn rz(theta: f64) -> CMatrix {
+    CMatrix::diagonal(&[Complex::phase(-theta / 2.0), Complex::phase(theta / 2.0)])
+}
+
+/// CNOT with qubit 0 as control, qubit 1 as target.
+pub fn cnot() -> CMatrix {
+    CMatrix::from_real(
+        4,
+        4,
+        &[
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0, //
+            0.0, 0.0, 1.0, 0.0,
+        ],
+    )
+}
+
+/// Controlled-Z (symmetric in control/target).
+pub fn cz() -> CMatrix {
+    CMatrix::diagonal(&[ONE, ONE, ONE, Complex::real(-1.0)])
+}
+
+/// SWAP of two qubits.
+pub fn swap() -> CMatrix {
+    CMatrix::from_real(
+        4,
+        4,
+        &[
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 0.0, 1.0, 0.0, //
+            0.0, 1.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0,
+        ],
+    )
+}
+
+/// The NV electron-controlled carbon rotation of paper eq. (22):
+///
+/// `diag(RX(θ), RX(−θ))` — the carbon rotates by `+θ` (`−θ`) around X
+/// when the electron is `|0⟩` (`|1⟩`). Qubit 0 is the electron
+/// (control), qubit 1 the carbon (target).
+pub fn ec_controlled_rx(theta: f64) -> CMatrix {
+    let p = rx(theta);
+    let m = rx(-theta);
+    let mut out = CMatrix::zeros(4, 4);
+    for r in 0..2 {
+        for c in 0..2 {
+            out[(r, c)] = p[(r, c)];
+            out[(r + 2, c + 2)] = m[(r, c)];
+        }
+    }
+    out
+}
+
+/// The "E-C controlled-√X gate" of paper Table 6: [`ec_controlled_rx`]
+/// with `θ = π/2`. Two of these (plus single-qubit gates) swap a state
+/// from the electron into the carbon memory (Appendix D.3.3).
+pub fn ec_controlled_sqrt_x() -> CMatrix {
+    ec_controlled_rx(std::f64::consts::FRAC_PI_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn all_gates_unitary() {
+        for g in [
+            id2(),
+            x(),
+            y(),
+            z(),
+            h(),
+            s(),
+            rx(0.3),
+            ry(1.2),
+            rz(-2.1),
+            cnot(),
+            cz(),
+            swap(),
+            ec_controlled_rx(0.7),
+            ec_controlled_sqrt_x(),
+        ] {
+            assert!(g.is_unitary(1e-12), "gate not unitary: {g:?}");
+        }
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        assert!((&h() * &h()).approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn rotations_compose_additively() {
+        let lhs = &rx(0.4) * &rx(0.6);
+        assert!(lhs.approx_eq(&rx(1.0), 1e-12));
+        let lhs = &rz(0.4) * &rz(0.6);
+        assert!(lhs.approx_eq(&rz(1.0), 1e-12));
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        // RX(π) = −iX.
+        let got = rx(PI);
+        let want = x().scale(Complex::new(0.0, -1.0));
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn cnot_action_on_basis() {
+        let g = cnot();
+        // |10⟩ (index 2) → |11⟩ (index 3).
+        assert_eq!(g[(3, 2)], ONE);
+        // |00⟩ fixed.
+        assert_eq!(g[(0, 0)], ONE);
+    }
+
+    #[test]
+    fn ec_gate_blocks() {
+        let g = ec_controlled_rx(0.9);
+        // Electron |0⟩ block is RX(+θ)…
+        let p = rx(0.9);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(g[(r, c)], p[(r, c)]);
+            }
+        }
+        // …and no cross-block coupling.
+        assert_eq!(g[(0, 2)], ZERO);
+        assert_eq!(g[(3, 1)], ZERO);
+    }
+
+    #[test]
+    fn two_ec_sqrt_x_gates_give_controlled_x_rotation_by_pi() {
+        let two = &ec_controlled_sqrt_x() * &ec_controlled_sqrt_x();
+        assert!(two.approx_eq(&ec_controlled_rx(PI), 1e-12));
+    }
+}

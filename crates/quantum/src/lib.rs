@@ -1,0 +1,31 @@
+//! Quantum-state substrate for the `qlink` stack.
+//!
+//! The paper's simulator (NetSquid) simulates quantum information as it
+//! decoheres in memories and travels through fibers. This crate provides
+//! the equivalent machinery:
+//!
+//! * [`state::QuantumState`] — a density matrix over a small register of
+//!   qubits with unitary application, Kraus/POVM maps, measurement and
+//!   partial trace,
+//! * [`gates`] — the standard gate set plus the NV-specific electron-
+//!   carbon controlled rotations of Appendix D.2.2,
+//! * [`channels`] — dephasing / depolarizing / amplitude damping and
+//!   time-parameterised `T1`/`T2` decoherence (Appendix A.4, D.2.1),
+//! * [`bell`] — Bell states, fidelity, QBER and the fidelity↔QBER
+//!   relation of eq. (16),
+//! * [`ops`] — teleportation and entanglement swapping (Figure 1),
+//!   used by the example applications and the network-layer use case.
+//!
+//! # Conventions
+//!
+//! Qubit 0 is the **most significant** bit of a basis index: the basis
+//! state `|q0 q1 … q(n−1)⟩` has index `q0·2^(n−1) + … + q(n−1)`.
+
+pub mod bell;
+pub mod channels;
+pub mod gates;
+pub mod ops;
+pub mod state;
+
+pub use bell::BellState;
+pub use state::{Basis, QuantumState};

@@ -1,0 +1,573 @@
+//! Density-matrix representation of a small qubit register.
+//!
+//! Everything the link layer touches — electron and carbon spins at the
+//! two nodes, photonic presence/absence qubits in flight to the heralding
+//! station — lives in registers of at most a few qubits, so an explicit
+//! density matrix (dimension `2^n ≤ 16`) is exact, simple, and fast
+//! enough. Noise is expressed as Kraus maps, measurements as POVMs,
+//! exactly mirroring Appendix D of the paper.
+
+use qlink_math::complex::{Complex, ONE, ZERO};
+use qlink_math::CMatrix;
+use rand::Rng;
+use std::fmt;
+
+/// A measurement basis, as used by the MD use case and the test rounds
+/// of Appendix B (bases are labelled X, Y, Z in the paper's §A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Basis {
+    /// The `{|X,0⟩, |X,1⟩}` basis: `(|0⟩ ± |1⟩)/√2`.
+    X,
+    /// The `{|Y,0⟩, |Y,1⟩}` basis: `(|0⟩ ± i|1⟩)/√2`.
+    Y,
+    /// The computational (standard) basis `{|0⟩, |1⟩}`.
+    Z,
+}
+
+impl Basis {
+    /// The two basis kets `(|b,0⟩, |b,1⟩)` as column vectors.
+    pub fn kets(self) -> (CMatrix, CMatrix) {
+        let inv_sqrt2 = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+        match self {
+            Basis::Z => (
+                CMatrix::col_vector(&[ONE, ZERO]),
+                CMatrix::col_vector(&[ZERO, ONE]),
+            ),
+            Basis::X => (
+                CMatrix::col_vector(&[inv_sqrt2, inv_sqrt2]),
+                CMatrix::col_vector(&[inv_sqrt2, -inv_sqrt2]),
+            ),
+            Basis::Y => (
+                CMatrix::col_vector(&[inv_sqrt2, Complex::new(0.0, 1.0) * inv_sqrt2]),
+                CMatrix::col_vector(&[inv_sqrt2, Complex::new(0.0, -1.0) * inv_sqrt2]),
+            ),
+        }
+    }
+
+    /// Rank-1 projectors `(|b,0⟩⟨b,0|, |b,1⟩⟨b,1|)`.
+    pub fn projectors(self) -> (CMatrix, CMatrix) {
+        let (k0, k1) = self.kets();
+        (&k0 * &k0.adjoint(), &k1 * &k1.adjoint())
+    }
+
+    /// The Pauli observable whose ±1 eigenbasis this is.
+    pub fn observable(self) -> CMatrix {
+        match self {
+            Basis::X => crate::gates::x(),
+            Basis::Y => crate::gates::y(),
+            Basis::Z => crate::gates::z(),
+        }
+    }
+
+    /// All three bases, in the paper's X, Z, Y listing order.
+    pub const ALL: [Basis; 3] = [Basis::X, Basis::Z, Basis::Y];
+}
+
+/// Errors from constructing a [`QuantumState`] out of raw matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateError {
+    /// The matrix is not square or its dimension is not a power of two.
+    BadDimension,
+    /// `Tr ρ` differs from 1 beyond tolerance.
+    NotNormalized(f64),
+    /// `ρ ≠ ρ†` beyond tolerance.
+    NotHermitian,
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::BadDimension => write!(f, "dimension is not a power of two"),
+            StateError::NotNormalized(t) => write!(f, "trace = {t}, expected 1"),
+            StateError::NotHermitian => write!(f, "matrix is not Hermitian"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// A mixed state of `n` qubits, stored as a `2^n × 2^n` density matrix.
+///
+/// Qubit 0 is the most significant bit of a basis index.
+#[derive(Clone, PartialEq)]
+pub struct QuantumState {
+    n: usize,
+    rho: CMatrix,
+}
+
+impl QuantumState {
+    /// The all-zeros pure state `|0…0⟩⟨0…0|` on `n ≥ 1` qubits.
+    pub fn ground(n: usize) -> Self {
+        assert!(n >= 1, "need at least one qubit");
+        let dim = 1usize << n;
+        let mut rho = CMatrix::zeros(dim, dim);
+        rho[(0, 0)] = ONE;
+        QuantumState { n, rho }
+    }
+
+    /// A pure state from a (normalised) ket column vector.
+    ///
+    /// # Panics
+    /// Panics if the ket length is not a power of two or the norm
+    /// differs from 1 by more than 1e-9.
+    pub fn from_ket(ket: &CMatrix) -> Self {
+        assert_eq!(ket.cols(), 1, "ket must be a column vector");
+        let dim = ket.rows();
+        assert!(dim.is_power_of_two() && dim >= 2, "bad ket dimension {dim}");
+        let norm: f64 = ket.as_slice().iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-9, "ket not normalised: |ψ|² = {norm}");
+        QuantumState {
+            n: dim.trailing_zeros() as usize,
+            rho: ket * &ket.adjoint(),
+        }
+    }
+
+    /// Wraps a density matrix, validating dimension, Hermiticity and trace.
+    pub fn from_density(rho: CMatrix) -> Result<Self, StateError> {
+        if !rho.is_square() || !rho.rows().is_power_of_two() || rho.rows() < 2 {
+            return Err(StateError::BadDimension);
+        }
+        if !rho.is_hermitian(1e-9) {
+            return Err(StateError::NotHermitian);
+        }
+        let t = rho.trace();
+        if (t.re - 1.0).abs() > 1e-9 || t.im.abs() > 1e-9 {
+            return Err(StateError::NotNormalized(t.re));
+        }
+        Ok(QuantumState {
+            n: rho.rows().trailing_zeros() as usize,
+            rho,
+        })
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Hilbert-space dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1 << self.n
+    }
+
+    /// Borrow the underlying density matrix.
+    pub fn density(&self) -> &CMatrix {
+        &self.rho
+    }
+
+    /// `Tr ρ` (should be 1 up to numerical drift).
+    pub fn trace(&self) -> f64 {
+        self.rho.trace().re
+    }
+
+    /// Tensor product `self ⊗ other`; `other`'s qubits are appended
+    /// after (less significant than) `self`'s.
+    pub fn tensor(&self, other: &QuantumState) -> QuantumState {
+        QuantumState {
+            n: self.n + other.n,
+            rho: self.rho.kron(&other.rho),
+        }
+    }
+
+    /// Embeds a `2^k`-dimensional operator acting on `targets` (in the
+    /// operator's own qubit order, most significant first) into the full
+    /// `2^n`-dimensional space.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or duplicate targets, or an operator whose
+    /// dimension does not match `targets.len()`.
+    pub fn expand_operator(&self, op: &CMatrix, targets: &[usize]) -> CMatrix {
+        let k = targets.len();
+        assert!(k >= 1 && op.rows() == (1 << k) && op.cols() == (1 << k), "operator/target mismatch");
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < self.n, "target {t} out of range for {}-qubit register", self.n);
+            assert!(!targets[..i].contains(&t), "duplicate target {t}");
+        }
+        let dim = self.dim();
+        let mut out = CMatrix::zeros(dim, dim);
+        // Positions (bit shifts) of the target qubits inside a basis index.
+        let shifts: Vec<usize> = targets.iter().map(|&t| self.n - 1 - t).collect();
+        let rest_mask: usize = {
+            let mut m = dim - 1;
+            for &s in &shifts {
+                m &= !(1usize << s);
+            }
+            m
+        };
+        let sub = |full: usize| -> usize {
+            let mut idx = 0;
+            for (pos, &s) in shifts.iter().enumerate() {
+                idx |= ((full >> s) & 1) << (k - 1 - pos);
+            }
+            idx
+        };
+        for i in 0..dim {
+            let ti = sub(i);
+            let ri = i & rest_mask;
+            for j in 0..dim {
+                if (j & rest_mask) != ri {
+                    continue;
+                }
+                let v = op[(ti, sub(j))];
+                if v != ZERO {
+                    out[(i, j)] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies a unitary to the given target qubits: `ρ ← UρU†`.
+    pub fn apply_unitary(&mut self, u: &CMatrix, targets: &[usize]) {
+        let full = self.expand_operator(u, targets);
+        self.rho = &(&full * &self.rho) * &full.adjoint();
+    }
+
+    /// Applies a completely positive map given by Kraus operators on the
+    /// target qubits: `ρ ← Σ_k K_k ρ K_k†`.
+    ///
+    /// The Kraus set should satisfy `Σ K†K = I`; trace is renormalised
+    /// afterwards to absorb numerical drift.
+    pub fn apply_kraus(&mut self, kraus: &[CMatrix], targets: &[usize]) {
+        let mut acc = CMatrix::zeros(self.dim(), self.dim());
+        for k in kraus {
+            let full = self.expand_operator(k, targets);
+            let term = &(&full * &self.rho) * &full.adjoint();
+            acc = &acc + &term;
+        }
+        self.rho = acc;
+        self.renormalize();
+    }
+
+    /// Probability that a POVM element `M` (acting on `targets`) fires:
+    /// `Tr(Mρ)` clamped to `[0, 1]`.
+    pub fn povm_probability(&self, m: &CMatrix, targets: &[usize]) -> f64 {
+        let full = self.expand_operator(m, targets);
+        (&full * &self.rho).trace().re.clamp(0.0, 1.0)
+    }
+
+    /// Performs a generalized measurement described by Kraus operators
+    /// on `targets`. Returns the sampled outcome index; the state
+    /// collapses to `K_i ρ K_i† / p_i`.
+    ///
+    /// # Panics
+    /// Panics if the outcome probabilities do not sum to ≈ 1.
+    pub fn measure_kraus<R: Rng + ?Sized>(
+        &mut self,
+        kraus: &[CMatrix],
+        targets: &[usize],
+        rng: &mut R,
+    ) -> usize {
+        let fulls: Vec<CMatrix> = kraus.iter().map(|k| self.expand_operator(k, targets)).collect();
+        let probs: Vec<f64> = fulls
+            .iter()
+            .map(|f| (&(&f.adjoint() * f) * &self.rho).trace().re.max(0.0))
+            .collect();
+        let total: f64 = probs.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "measurement probabilities sum to {total}, not 1"
+        );
+        let mut draw = rng.gen::<f64>() * total;
+        let mut outcome = probs.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            if draw < p {
+                outcome = i;
+                break;
+            }
+            draw -= p;
+        }
+        let f = &fulls[outcome];
+        self.rho = &(f * &self.rho) * &f.adjoint();
+        self.renormalize();
+        outcome
+    }
+
+    /// Projectively measures one qubit in the given basis; returns 0 or 1.
+    pub fn measure_qubit<R: Rng + ?Sized>(&mut self, qubit: usize, basis: Basis, rng: &mut R) -> u8 {
+        let (p0, p1) = basis.projectors();
+        self.measure_kraus(&[p0, p1], &[qubit], rng) as u8
+    }
+
+    /// Expectation value `Tr(Oρ)` of a Hermitian observable `O` acting
+    /// on `targets`.
+    pub fn expectation(&self, observable: &CMatrix, targets: &[usize]) -> f64 {
+        let full = self.expand_operator(observable, targets);
+        (&full * &self.rho).trace().re
+    }
+
+    /// Partial trace keeping only the listed qubits (in their current
+    /// order); all other qubits are traced out.
+    ///
+    /// # Panics
+    /// Panics if `keep` is empty, out of range, contains duplicates, or
+    /// is not sorted ascending.
+    pub fn partial_trace(&self, keep: &[usize]) -> QuantumState {
+        assert!(!keep.is_empty(), "must keep at least one qubit");
+        for w in keep.windows(2) {
+            assert!(w[0] < w[1], "keep list must be sorted ascending, no duplicates");
+        }
+        assert!(*keep.last().unwrap() < self.n, "keep index out of range");
+        let k = keep.len();
+        let keep_shifts: Vec<usize> = keep.iter().map(|&q| self.n - 1 - q).collect();
+        let traced: Vec<usize> = (0..self.n).filter(|q| !keep.contains(q)).collect();
+        let traced_shifts: Vec<usize> = traced.iter().map(|&q| self.n - 1 - q).collect();
+        let kd = 1usize << k;
+        let td = 1usize << traced.len();
+        let compose = |kept_idx: usize, traced_idx: usize| -> usize {
+            let mut full = 0usize;
+            for (pos, &s) in keep_shifts.iter().enumerate() {
+                full |= ((kept_idx >> (k - 1 - pos)) & 1) << s;
+            }
+            for (pos, &s) in traced_shifts.iter().enumerate() {
+                full |= ((traced_idx >> (traced.len() - 1 - pos)) & 1) << s;
+            }
+            full
+        };
+        let mut out = CMatrix::zeros(kd, kd);
+        for r in 0..kd {
+            for c in 0..kd {
+                let mut sum = ZERO;
+                for t in 0..td {
+                    sum += self.rho[(compose(r, t), compose(c, t))];
+                }
+                out[(r, c)] = sum;
+            }
+        }
+        QuantumState { n: k, rho: out }
+    }
+
+    /// Fidelity `⟨ψ|ρ|ψ⟩` against a pure target ket.
+    ///
+    /// This is the paper's fidelity (eq. (15)) for pure targets such as
+    /// the Bell states — the only case the link layer needs.
+    pub fn fidelity_pure(&self, ket: &CMatrix) -> f64 {
+        assert_eq!(ket.cols(), 1, "target must be a ket");
+        assert_eq!(ket.rows(), self.dim(), "target dimension mismatch");
+        self.rho.expectation(ket).re.clamp(0.0, 1.0)
+    }
+
+    /// Rescales so that `Tr ρ = 1`, absorbing numerical drift.
+    pub fn renormalize(&mut self) {
+        let t = self.rho.trace().re;
+        if t > 0.0 && (t - 1.0).abs() > f64::EPSILON {
+            self.rho = self.rho.scale(Complex::real(1.0 / t));
+        }
+    }
+
+    /// `true` if `ρ` is Hermitian, unit trace, and PSD on a sample of
+    /// probe vectors (cheap sanity used by tests and debug assertions).
+    pub fn is_physical(&self, tol: f64) -> bool {
+        if !self.rho.is_hermitian(tol) {
+            return false;
+        }
+        if (self.trace() - 1.0).abs() > tol {
+            return false;
+        }
+        // Diagonal entries of a PSD matrix are non-negative, and basis
+        // probes catch the common failure modes at these dimensions.
+        (0..self.dim()).all(|i| self.rho[(i, i)].re >= -tol)
+    }
+}
+
+impl fmt::Debug for QuantumState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QuantumState({} qubits) {:?}", self.n, self.rho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ground_state_is_physical() {
+        for n in 1..=4 {
+            let s = QuantumState::ground(n);
+            assert_eq!(s.num_qubits(), n);
+            assert!(s.is_physical(1e-12));
+            assert_eq!(s.density()[(0, 0)], ONE);
+        }
+    }
+
+    #[test]
+    fn x_flips_ground() {
+        let mut s = QuantumState::ground(1);
+        s.apply_unitary(&gates::x(), &[0]);
+        assert!((s.density()[(1, 1)].re - 1.0).abs() < 1e-12);
+        assert!(s.is_physical(1e-12));
+    }
+
+    #[test]
+    fn expand_operator_on_chosen_qubit() {
+        // X on qubit 1 of a 2-qubit register: |00⟩ → |01⟩.
+        let mut s = QuantumState::ground(2);
+        s.apply_unitary(&gates::x(), &[1]);
+        assert!((s.density()[(1, 1)].re - 1.0).abs() < 1e-12);
+        // X on qubit 0: |01⟩ → |11⟩.
+        s.apply_unitary(&gates::x(), &[0]);
+        assert!((s.density()[(3, 3)].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expand_operator_respects_target_order() {
+        // CNOT with control=1, target=0 on |01⟩ gives |11⟩.
+        let mut s = QuantumState::ground(2);
+        s.apply_unitary(&gates::x(), &[1]); // |01⟩
+        s.apply_unitary(&gates::cnot(), &[1, 0]); // control qubit 1
+        assert!((s.density()[(3, 3)].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_via_h_cnot() {
+        let mut s = QuantumState::ground(2);
+        s.apply_unitary(&gates::h(), &[0]);
+        s.apply_unitary(&gates::cnot(), &[0, 1]);
+        // Φ+ has 1/2 in the four corners.
+        let r = s.density();
+        for (i, j) in [(0, 0), (0, 3), (3, 0), (3, 3)] {
+            assert!((r[(i, j)].re - 0.5).abs() < 1e-12, "({i},{j})");
+        }
+        assert!(s.is_physical(1e-12));
+    }
+
+    #[test]
+    fn measurement_statistics_plus_state() {
+        // |+⟩ measured in Z: ≈50/50. Measured in X: always 0.
+        let mut zeros = 0;
+        let mut r = rng();
+        for _ in 0..1000 {
+            let mut s = QuantumState::ground(1);
+            s.apply_unitary(&gates::h(), &[0]);
+            if s.measure_qubit(0, Basis::Z, &mut r) == 0 {
+                zeros += 1;
+            }
+        }
+        assert!((400..=600).contains(&zeros), "got {zeros} zeros out of 1000");
+
+        let mut s = QuantumState::ground(1);
+        s.apply_unitary(&gates::h(), &[0]);
+        assert_eq!(s.measure_qubit(0, Basis::X, &mut r), 0);
+    }
+
+    #[test]
+    fn measurement_collapses() {
+        let mut s = QuantumState::ground(2);
+        s.apply_unitary(&gates::h(), &[0]);
+        s.apply_unitary(&gates::cnot(), &[0, 1]);
+        let mut r = rng();
+        let m0 = s.measure_qubit(0, Basis::Z, &mut r);
+        // Perfect correlation in Φ+: second measurement matches.
+        let m1 = s.measure_qubit(1, Basis::Z, &mut r);
+        assert_eq!(m0, m1);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_pair_is_maximally_mixed() {
+        let mut s = QuantumState::ground(2);
+        s.apply_unitary(&gates::h(), &[0]);
+        s.apply_unitary(&gates::cnot(), &[0, 1]);
+        for keep in [[0usize], [1usize]] {
+            let red = s.partial_trace(&keep);
+            assert_eq!(red.num_qubits(), 1);
+            assert!((red.density()[(0, 0)].re - 0.5).abs() < 1e-12);
+            assert!((red.density()[(1, 1)].re - 0.5).abs() < 1e-12);
+            assert!(red.density()[(0, 1)].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partial_trace_of_product_state() {
+        // |1⟩ ⊗ |0⟩, keep qubit 0 → |1⟩.
+        let mut a = QuantumState::ground(1);
+        a.apply_unitary(&gates::x(), &[0]);
+        let b = QuantumState::ground(1);
+        let joint = a.tensor(&b);
+        let red = joint.partial_trace(&[0]);
+        assert!((red.density()[(1, 1)].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_dimensions() {
+        let s = QuantumState::ground(1).tensor(&QuantumState::ground(2));
+        assert_eq!(s.num_qubits(), 3);
+        assert_eq!(s.dim(), 8);
+        assert!(s.is_physical(1e-12));
+    }
+
+    #[test]
+    fn fidelity_of_exact_state_is_one() {
+        let mut s = QuantumState::ground(2);
+        s.apply_unitary(&gates::h(), &[0]);
+        s.apply_unitary(&gates::cnot(), &[0, 1]);
+        let inv_sqrt2 = Complex::real(std::f64::consts::FRAC_1_SQRT_2);
+        let phi_plus = CMatrix::col_vector(&[inv_sqrt2, ZERO, ZERO, inv_sqrt2]);
+        assert!((s.fidelity_pure(&phi_plus) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_density_validates() {
+        assert!(QuantumState::from_density(CMatrix::identity(3)).is_err());
+        assert!(matches!(
+            QuantumState::from_density(CMatrix::identity(2)),
+            Err(StateError::NotNormalized(_))
+        ));
+        let ok = QuantumState::from_density(CMatrix::identity(2).scale(Complex::real(0.5)));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn from_ket_checks_norm() {
+        let ket = CMatrix::col_vector(&[ONE, ZERO]);
+        let s = QuantumState::from_ket(&ket);
+        assert_eq!(s.num_qubits(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalised")]
+    fn from_ket_rejects_unnormalised() {
+        let ket = CMatrix::col_vector(&[ONE, ONE]);
+        let _ = QuantumState::from_ket(&ket);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target")]
+    fn duplicate_targets_panic() {
+        let mut s = QuantumState::ground(2);
+        s.apply_unitary(&gates::cnot(), &[0, 0]);
+    }
+
+    #[test]
+    fn povm_probability_of_projector() {
+        let mut s = QuantumState::ground(1);
+        s.apply_unitary(&gates::h(), &[0]);
+        let (p0, _) = Basis::Z.projectors();
+        assert!((s.povm_probability(&p0, &[0]) - 0.5).abs() < 1e-12);
+        let (px0, _) = Basis::X.projectors();
+        assert!((s.povm_probability(&px0, &[0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_pauli() {
+        let mut s = QuantumState::ground(1);
+        assert!((s.expectation(&gates::z(), &[0]) - 1.0).abs() < 1e-12);
+        s.apply_unitary(&gates::x(), &[0]);
+        assert!((s.expectation(&gates::z(), &[0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn y_basis_kets_orthonormal() {
+        for b in Basis::ALL {
+            let (k0, k1) = b.kets();
+            let ip: Complex = (0..2).map(|i| k0[(i, 0)].conj() * k1[(i, 0)]).sum();
+            assert!(ip.abs() < 1e-12, "{b:?} kets not orthogonal");
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! A minimal network layer: repeater chains over link-layer services.
+//!
+//! The paper's conclusion points at the next step up the stack: "a
+//! robust network layer control protocol" that builds long-distance
+//! entanglement by swapping link pairs (Figure 1b, §3.3 NL use case,
+//! §3.4). This module implements the simplest such consumer, per the
+//! paper's sketch: reserve a path, produce NL pairs on every link
+//! *concurrently* (to fight memory lifetimes), then swap at the
+//! intermediate nodes and apply the Pauli corrections.
+//!
+//! Each hop runs a full [`crate::link::LinkSimulation`] — the complete
+//! EGP/MHP/physics stack — and the chain composes their delivered
+//! pairs. Swap quality uses the delivered pairs' measured fidelities
+//! (as Werner states, the standard one-parameter model a network layer
+//! would track per link).
+
+use crate::config::{LinkConfig, RequestKind};
+use crate::link::LinkSimulation;
+use crate::workload::GeneratedRequest;
+use qlink_des::{DetRng, SimDuration};
+use qlink_quantum::bell::{bell_fidelity, werner_state, BellState};
+use qlink_quantum::ops::entanglement_swap;
+use qlink_quantum::QuantumState;
+
+/// Result of one end-to-end entanglement generation over a chain.
+#[derive(Debug, Clone)]
+pub struct ChainOutcome {
+    /// Fidelity of each link's delivered pair, in path order.
+    pub link_fidelities: Vec<f64>,
+    /// Fidelity of the end-to-end pair after all swaps.
+    pub end_to_end_fidelity: f64,
+    /// Simulated time until the *slowest* link delivered (links
+    /// generate concurrently, per the paper's NL rationale).
+    pub generation_time: SimDuration,
+}
+
+/// A chain of independently simulated links joined by swapping.
+pub struct RepeaterChain {
+    links: Vec<LinkSimulation>,
+    rng: DetRng,
+}
+
+impl RepeaterChain {
+    /// Builds a chain from per-hop link configurations (N configs =
+    /// N+1 nodes). Each hop gets an independent seed derived from its
+    /// config's.
+    ///
+    /// # Panics
+    /// Panics if `configs` is empty.
+    pub fn new(configs: Vec<LinkConfig>) -> Self {
+        assert!(!configs.is_empty(), "a chain needs at least one hop");
+        let seed = configs[0].seed;
+        RepeaterChain {
+            links: configs.into_iter().map(LinkSimulation::new).collect(),
+            rng: DetRng::new(seed ^ 0xc4a1_u64),
+        }
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Produces one end-to-end pair: submits an NL request on every
+    /// hop, runs all hops concurrently until each has delivered (or
+    /// `max_time` passes), then swaps at the intermediate nodes.
+    ///
+    /// Returns `None` if any hop failed to deliver within `max_time`.
+    pub fn generate_end_to_end(&mut self, fmin: f64, max_time: SimDuration) -> Option<ChainOutcome> {
+        // Reserve the path: one NL request per hop (priority 1,
+        // purpose-tagged — §4.1.1's NL path reservation).
+        for link in &mut self.links {
+            link.submit(
+                0,
+                GeneratedRequest {
+                    kind: RequestKind::Nl,
+                    pairs: 1,
+                    origin: 0,
+                    fmin,
+                    tmax_us: 0,
+                },
+            );
+        }
+        // Run all hops concurrently in slices until every link has a
+        // pair (the network layer's "produce pairwise entanglement
+        // concurrently ... with minimal delay").
+        let slice = SimDuration::from_millis(500);
+        let mut elapsed = SimDuration::ZERO;
+        let baseline: Vec<u64> = self
+            .links
+            .iter()
+            .map(|l| l.metrics.kind_total(RequestKind::Nl).pairs_delivered)
+            .collect();
+        let mut generation_time = SimDuration::ZERO;
+        loop {
+            let mut all_done = true;
+            for (i, link) in self.links.iter_mut().enumerate() {
+                let done = link.metrics.kind_total(RequestKind::Nl).pairs_delivered > baseline[i];
+                if !done {
+                    link.run_for(slice);
+                    let now_done =
+                        link.metrics.kind_total(RequestKind::Nl).pairs_delivered > baseline[i];
+                    if now_done {
+                        generation_time = generation_time.max(elapsed + slice);
+                    } else {
+                        all_done = false;
+                    }
+                }
+            }
+            if all_done {
+                break;
+            }
+            elapsed += slice;
+            if elapsed >= max_time {
+                return None;
+            }
+        }
+
+        // Collect per-link fidelities and swap them up pairwise.
+        let link_fidelities: Vec<f64> = self
+            .links
+            .iter()
+            .map(|l| l.metrics.kind_total(RequestKind::Nl).fidelity.mean())
+            .collect();
+        let end_to_end_fidelity = swap_chain(&link_fidelities, &mut self.rng);
+        Some(ChainOutcome {
+            link_fidelities,
+            end_to_end_fidelity,
+            generation_time,
+        })
+    }
+}
+
+/// Fuses a path of link fidelities into one end-to-end fidelity by
+/// sequential entanglement swapping of Werner pairs.
+pub fn swap_chain(link_fidelities: &[f64], rng: &mut DetRng) -> f64 {
+    assert!(!link_fidelities.is_empty(), "empty chain");
+    let as_werner = |f: f64| werner_state(BellState::PhiPlus, ((4.0 * f - 1.0) / 3.0).clamp(0.0, 1.0));
+    let mut current: QuantumState = as_werner(link_fidelities[0]);
+    for &f in &link_fidelities[1..] {
+        // Register: [a, b1, b2, c] — current pair ⊗ next hop's pair.
+        let mut joint = current.tensor(&as_werner(f));
+        entanglement_swap(&mut joint, 1, 2, 3, rng.raw());
+        let fused = bell_fidelity(&joint, (0, 3), BellState::PhiPlus);
+        current = as_werner(fused);
+    }
+    bell_fidelity(&current, (0, 1), BellState::PhiPlus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+
+    #[test]
+    fn swap_chain_of_one_is_identity() {
+        let mut rng = DetRng::new(1);
+        let f = swap_chain(&[0.8], &mut rng);
+        assert!((f - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_chain_degrades_monotonically_with_hops() {
+        let mut rng = DetRng::new(2);
+        let f1 = swap_chain(&[0.9], &mut rng);
+        let f2 = swap_chain(&[0.9, 0.9], &mut rng);
+        let f3 = swap_chain(&[0.9, 0.9, 0.9], &mut rng);
+        assert!(f1 > f2 && f2 > f3, "{f1} > {f2} > {f3} expected");
+        assert!(f3 > 0.5, "three good hops stay useful: {f3}");
+    }
+
+    #[test]
+    fn swap_chain_matches_werner_composition_law() {
+        // For Werner inputs, p_out = p1·p2 exactly.
+        let mut rng = DetRng::new(3);
+        let (f1, f2) = (0.85, 0.75);
+        let fused = swap_chain(&[f1, f2], &mut rng);
+        let p1 = (4.0 * f1 - 1.0) / 3.0;
+        let p2 = (4.0 * f2 - 1.0) / 3.0;
+        let expected = p1 * p2 * 0.75 + 0.25;
+        assert!((fused - expected).abs() < 1e-9, "{fused} vs {expected}");
+    }
+
+    #[test]
+    fn weakest_link_dominates() {
+        let mut rng = DetRng::new(4);
+        let strong = swap_chain(&[0.9, 0.9], &mut rng);
+        let weak = swap_chain(&[0.9, 0.6], &mut rng);
+        assert!(weak < strong);
+    }
+
+    #[test]
+    fn two_hop_lab_chain_end_to_end() {
+        // Two full Lab links through the complete stack.
+        let mk = |seed| LinkConfig::lab(WorkloadSpec::none(), seed);
+        let mut chain = RepeaterChain::new(vec![mk(31), mk(32)]);
+        assert_eq!(chain.hops(), 2);
+        let out = chain
+            .generate_end_to_end(0.6, SimDuration::from_secs(20))
+            .expect("both hops deliver in 20 s");
+        assert_eq!(out.link_fidelities.len(), 2);
+        for f in &out.link_fidelities {
+            assert!(*f > 0.55, "link fidelity {f}");
+        }
+        assert!(
+            out.end_to_end_fidelity < *out.link_fidelities.iter().min_by(|a, b| a.partial_cmp(b).unwrap()).unwrap(),
+            "swap must cost fidelity"
+        );
+        assert!(out.end_to_end_fidelity > 0.4);
+        assert!(out.generation_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn chain_times_out_when_a_hop_cannot_deliver() {
+        let mk = |seed| LinkConfig::lab(WorkloadSpec::none(), seed);
+        let mut chain = RepeaterChain::new(vec![mk(41)]);
+        // 1 ms is far too short for any delivery (psucc ≈ 1e-4/cycle).
+        let out = chain.generate_end_to_end(0.6, SimDuration::from_millis(1));
+        assert!(out.is_none());
+    }
+}

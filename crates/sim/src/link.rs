@@ -1,0 +1,709 @@
+//! The event-driven simulation of one quantum link.
+//!
+//! Wires two EGP+MHP nodes, the heralding station, classical channels
+//! (with loss/corruption injection) and the quantum pair ledger onto
+//! the deterministic event queue. This is the Rust analogue of the
+//! paper's NetSquid setup of Appendix D.1.
+
+use crate::config::{LinkConfig, RequestKind};
+use crate::metrics::LinkMetrics;
+use crate::workload::{GeneratedRequest, WorkloadGenerator};
+use qlink_classical::channel::{ChannelModel, Transmission};
+use qlink_des::{DetRng, EventQueue, SimDuration, SimTime};
+use qlink_egp::dqueue::Role;
+use qlink_egp::egp::{Egp, EgpConfig, EgpEvent, HwDirective};
+use qlink_egp::shared_random::SharedRandomness;
+use qlink_phys::attempt::{AttemptOutcome, ModelCache};
+use qlink_phys::mhp::{AttemptKind, MhpResult, Midpoint, NodeMhp, PhotonSubmission};
+use qlink_phys::pair::{PairState, Side};
+use qlink_quantum::bell::BellState;
+use qlink_quantum::Basis;
+use qlink_wire::egp::{CreateMsg, EgpErrorCode, WireBasis};
+use qlink_wire::fields::{Fidelity16, RequestFlags, RequestType};
+use qlink_wire::Frame;
+use std::collections::HashMap;
+
+/// Node IDs on the wire (A is the distributed-queue master).
+pub const NODE_A: u32 = 1;
+/// Node B's wire ID.
+pub const NODE_B: u32 = 2;
+
+#[derive(Debug)]
+enum Event {
+    /// Start of MHP cycle `c` at both nodes.
+    Cycle(u64),
+    /// The station closes detection window `c`.
+    WindowClose(u64),
+    /// A node-to-node classical frame arrives.
+    PeerFrame { to: usize, bytes: Vec<u8> },
+    /// A GEN frame arrives at the station.
+    GenArrive { from: u32, bytes: Vec<u8> },
+    /// A photon arrives at the station.
+    PhotonArrive(PhotonSubmission),
+    /// A station REPLY arrives at a node.
+    ReplyArrive { to: usize, bytes: Vec<u8> },
+    /// Node-side deadline for the reply to attempt `cycle`.
+    ReplyTimeout { node: usize, cycle: u64 },
+}
+
+#[derive(Debug)]
+struct LedgerEntry {
+    pair: Option<PairState>,
+    outcome: AttemptOutcome,
+    bits: Option<(u8, u8)>,
+    heralded_fidelity: f64,
+    released: [bool; 2],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RequestTracking {
+    kind: RequestKind,
+    submitted: SimTime,
+    pairs: u16,
+    pairs_seen: u16,
+}
+
+/// A fully wired two-node link simulation.
+pub struct LinkSimulation {
+    cfg: LinkConfig,
+    queue: EventQueue<Event>,
+    egps: [Egp; 2],
+    mhps: [NodeMhp; 2],
+    midpoint: Midpoint,
+    cache: ModelCache,
+    window_alpha: HashMap<u64, f64>,
+    window_active: bool,
+    ledger: HashMap<u64, LedgerEntry>,
+    chan_ab: [ChannelModel; 2],
+    chan_gen: [ChannelModel; 2],
+    chan_reply: [ChannelModel; 2],
+    rng_phys: DetRng,
+    rng_chan: DetRng,
+    workload: WorkloadGenerator,
+    tracking: HashMap<(usize, u16), RequestTracking>,
+    /// Metrics collected so far.
+    pub metrics: LinkMetrics,
+    next_cycle_scheduled: u64,
+}
+
+impl LinkSimulation {
+    /// Builds the link from a configuration.
+    pub fn new(cfg: LinkConfig) -> Self {
+        let root = DetRng::new(cfg.seed);
+        let scenario = cfg.scenario.clone();
+
+        let shared = SharedRandomness::new(cfg.seed ^ 0x7e57_0000, cfg.test_round_probability);
+        let mk_egp = |node, peer, role| {
+            let mut e = EgpConfig::for_scenario(node, peer, role, scenario.clone(), cfg.scheduler.policy());
+            e.storage_qubits = cfg.storage_qubits;
+            e.shared_random = shared;
+            for (q, w) in cfg.scheduler.wfq_weights() {
+                e.dq.wfq_weights.insert(q, w);
+            }
+            Egp::new(e)
+        };
+        let egp_a = mk_egp(NODE_A, NODE_B, Role::Master);
+        let egp_b = mk_egp(NODE_B, NODE_A, Role::Slave);
+
+        // Workload arrival scaling: psucc/E at the FEU's α per kind.
+        let mut feu = qlink_egp::feu::FidelityEstimator::new(scenario.clone());
+        let mut scale = [0.0f64; 3];
+        for (i, kind) in RequestKind::ALL.iter().enumerate() {
+            let load = cfg.workload.kind_load(*kind);
+            if load.fraction <= 0.0 {
+                continue;
+            }
+            let rtype = if kind.is_keep() {
+                RequestType::Keep
+            } else {
+                RequestType::Measure
+            };
+            if let Some(choice) = feu.choose_alpha(load.fmin, rtype) {
+                let e = match rtype {
+                    RequestType::Keep => scenario.expected_cycles_per_attempt_keep(),
+                    RequestType::Measure => scenario.expected_cycles_per_attempt_measure(),
+                };
+                scale[i] = feu.success_probability(choice.alpha) / e;
+            }
+        }
+        let workload = WorkloadGenerator::new(cfg.workload, scale, root.substream("workload"));
+
+        let node_to_node_km = scenario.arm_a_km + scenario.arm_b_km;
+        let mk_chan = |km: f64| {
+            ChannelModel::fiber(km, cfg.classical_loss).with_corruption(cfg.classical_corruption)
+        };
+        let mut sim = LinkSimulation {
+            queue: EventQueue::new(),
+            egps: [egp_a, egp_b],
+            mhps: [NodeMhp::new(NODE_A), NodeMhp::new(NODE_B)],
+            midpoint: Midpoint::new(NODE_A, NODE_B),
+            cache: ModelCache::new(),
+            window_alpha: HashMap::new(),
+            window_active: false,
+            ledger: HashMap::new(),
+            chan_ab: [mk_chan(node_to_node_km), mk_chan(node_to_node_km)],
+            chan_gen: [mk_chan(scenario.arm_a_km), mk_chan(scenario.arm_b_km)],
+            chan_reply: [mk_chan(scenario.arm_a_km), mk_chan(scenario.arm_b_km)],
+            rng_phys: root.substream("physics"),
+            rng_chan: root.substream("channels"),
+            workload,
+            tracking: HashMap::new(),
+            metrics: LinkMetrics::new(),
+            next_cycle_scheduled: 0,
+            cfg,
+        };
+        sim.queue.schedule_at(SimTime::ZERO, Event::Cycle(0));
+        sim.next_cycle_scheduled = 0;
+        sim
+    }
+
+    /// The simulation's current time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events processed (run statistics).
+    pub fn events_fired(&self) -> u64 {
+        self.queue.events_fired()
+    }
+
+    /// Borrow a node's EGP (0 = A, 1 = B) for inspection.
+    pub fn egp(&self, node: usize) -> &Egp {
+        &self.egps[node]
+    }
+
+    /// Submits a CREATE directly (besides the random workload); returns
+    /// the create ID.
+    pub fn submit(&mut self, origin: usize, req: GeneratedRequest) -> u16 {
+        let now = self.queue.now();
+        let cycle = self.current_cycle();
+        let msg = Self::create_msg(&req, if origin == 0 { NODE_B } else { NODE_A });
+        let (create_id, events) = self.egps[origin].create(msg, cycle);
+        self.tracking.insert(
+            (origin, create_id),
+            RequestTracking {
+                kind: req.kind,
+                submitted: now,
+                pairs: req.pairs,
+                pairs_seen: 0,
+            },
+        );
+        self.route(origin, events);
+        create_id
+    }
+
+    /// Runs the simulation for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let horizon = self.queue.now() + duration;
+        while let Some((t, ev)) = self.queue.pop_until(horizon) {
+            self.handle(t, ev);
+        }
+        self.metrics.elapsed += duration;
+    }
+
+    fn current_cycle(&self) -> u64 {
+        self.queue.now().as_ps() / self.cfg.scenario.mhp_cycle.as_ps()
+    }
+
+    fn cycle_start(&self, c: u64) -> SimTime {
+        SimTime::from_ps(c * self.cfg.scenario.mhp_cycle.as_ps())
+    }
+
+    fn side_of(node: usize) -> Side {
+        if node == 0 {
+            Side::A
+        } else {
+            Side::B
+        }
+    }
+
+    fn create_msg(req: &GeneratedRequest, remote: u32) -> CreateMsg {
+        CreateMsg {
+            remote_node_id: remote,
+            min_fidelity: Fidelity16::from_f64(req.fmin),
+            max_time_us: req.tmax_us,
+            purpose_id: 10 + req.kind.priority() as u16,
+            number: req.pairs,
+            priority: req.kind.priority(),
+            flags: RequestFlags {
+                store: req.kind.is_keep(),
+                measure_directly: !req.kind.is_keep(),
+                consecutive: true,
+                atomic: false,
+                master_request: false,
+            },
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Cycle(c) => self.on_cycle(now, c),
+            Event::WindowClose(c) => self.on_window_close(now, c),
+            Event::PeerFrame { to, bytes } => {
+                if let Ok(frame) = Frame::decode(&bytes) {
+                    let cycle = self.current_cycle();
+                    let evs = self.egps[to].on_peer_frame(frame, cycle);
+                    self.route(to, evs);
+                }
+            }
+            Event::GenArrive { from, bytes } => {
+                if let Ok(Frame::Gen(msg)) = Frame::decode(&bytes) {
+                    self.midpoint.on_gen(from, msg);
+                }
+            }
+            Event::PhotonArrive(p) => self.midpoint.on_photon(p),
+            Event::ReplyArrive { to, bytes } => {
+                if let Ok(Frame::Reply(msg)) = Frame::decode(&bytes) {
+                    if let Some(result) = self.mhps[to].on_reply(msg) {
+                        self.process_result(to, result);
+                    }
+                }
+            }
+            Event::ReplyTimeout { node, cycle } => {
+                if let Some(result) = self.mhps[node].on_reply_timeout(cycle) {
+                    self.process_result(node, result);
+                }
+            }
+        }
+    }
+
+    fn on_cycle(&mut self, now: SimTime, c: u64) {
+        // Keep the clock ticking.
+        self.queue
+            .schedule_at(self.cycle_start(c + 1), Event::Cycle(c + 1));
+        self.next_cycle_scheduled = c + 1;
+
+        // Workload arrivals.
+        let arrivals = self.workload.sample_cycle();
+        for req in arrivals {
+            self.submit(req.origin, req);
+        }
+
+        // Poll both EGPs; trigger attempts.
+        self.window_active = false;
+        for i in 0..2 {
+            let (spec, evs) = self.egps[i].poll(c);
+            self.route(i, evs);
+            let Some(spec) = spec else { continue };
+            let actions = self.mhps[i].trigger(c, spec);
+            self.window_alpha.entry(c).or_insert(spec.alpha);
+            self.window_active = true;
+
+            let prep = self.cfg.scenario.emission_prep;
+            let photon_at = now + prep + self.arm_delay(i);
+            self.queue.schedule_at(photon_at, Event::PhotonArrive(actions.photon));
+
+            let bytes = Frame::Gen(actions.gen).encode();
+            if let Transmission::Delivered { delay, bytes } =
+                self.chan_gen[i].transmit(bytes, &mut self.rng_chan)
+            {
+                let from = if i == 0 { NODE_A } else { NODE_B };
+                self.queue
+                    .schedule_at(now + prep + delay, Event::GenArrive { from, bytes });
+            }
+            let timeout = self.cfg.scenario.mhp_cycle * (self.reply_timeout_cycles() + 2);
+            self.queue
+                .schedule_at(now + timeout, Event::ReplyTimeout { node: i, cycle: c });
+        }
+
+        if self.window_active {
+            let close_at = now
+                + self.cfg.scenario.emission_prep
+                + self.max_arm_delay()
+                + SimDuration::from_nanos(100);
+            self.queue.schedule_at(close_at, Event::WindowClose(c));
+        }
+
+        // Periodic housekeeping.
+        if c.is_multiple_of(256) {
+            self.metrics.queue_length.push(self.egps[0].queue_len() as f64);
+        }
+        if c.is_multiple_of(16_384) && c > 0 {
+            let horizon = c.saturating_sub(200_000);
+            self.ledger.retain(|k, _| *k >= horizon);
+            self.window_alpha.retain(|k, _| *k >= horizon);
+        }
+    }
+
+    fn on_window_close(&mut self, now: SimTime, c: u64) {
+        let alpha = self.window_alpha.remove(&c).unwrap_or(0.1);
+        let model = self.cache.get(&self.cfg.scenario, alpha);
+        let eval = self.midpoint.evaluate_window(c, &model, &mut self.rng_phys);
+
+        if let Some(h) = &eval.herald {
+            let emission = self.cycle_start(c) + self.cfg.scenario.emission_prep;
+            let entry = LedgerEntry {
+                pair: h.measured_bits.is_none().then(|| PairState::new(h.state.clone(), emission)),
+                outcome: h.outcome,
+                bits: h.measured_bits,
+                heralded_fidelity: model.heralded_fidelity(h.outcome),
+                released: [false, false],
+            };
+            self.ledger.insert(c, entry);
+        }
+        for (node, reply) in eval.replies {
+            let idx = if node == NODE_A { 0 } else { 1 };
+            let bytes = Frame::Reply(reply).encode();
+            if let Transmission::Delivered { delay, bytes } =
+                self.chan_reply[idx].transmit(bytes, &mut self.rng_chan)
+            {
+                self.queue
+                    .schedule_at(now + delay, Event::ReplyArrive { to: idx, bytes });
+            }
+        }
+    }
+
+    fn process_result(&mut self, node: usize, result: MhpResult) {
+        let cycle = self.current_cycle();
+        // Bits for M-type attempts live in the ledger.
+        let local_bit = match (&result.spec.kind, result.outcome()) {
+            (AttemptKind::Measure { .. }, outcome) if outcome_is_success(outcome) => self
+                .ledger
+                .get(&result.cycle)
+                .and_then(|e| e.bits)
+                .map(|(a, b)| if node == 0 { a } else { b }),
+            _ => None,
+        };
+        // Feed test rounds into the FEU's estimator.
+        if result.spec.test_round && outcome_is_success(result.outcome()) {
+            if let (AttemptKind::Measure { basis }, Some(entry)) =
+                (&result.spec.kind, self.ledger.get(&result.cycle))
+            {
+                if let Some((a, b)) = entry.bits {
+                    let bell = entry.outcome.bell_state();
+                    self.egps[node].record_test_round(bell, *basis, a, b);
+                }
+            }
+        }
+        let evs = self.egps[node].on_mhp_result(&result, local_bit, cycle);
+        self.route(node, evs);
+    }
+
+    /// Routes EGP outputs: frames into channels, OKs/errors into
+    /// metrics, hardware directives into the pair ledger.
+    fn route(&mut self, from: usize, events: Vec<EgpEvent>) {
+        let mut work: Vec<(usize, EgpEvent)> = events.into_iter().map(|e| (from, e)).collect();
+        while !work.is_empty() {
+            let mut next = Vec::new();
+            for (i, ev) in work {
+                match ev {
+                    EgpEvent::SendPeer(frame) => {
+                        let now = self.queue.now();
+                        let bytes = frame.encode();
+                        if let Transmission::Delivered { delay, bytes } =
+                            self.chan_ab[i].transmit(bytes, &mut self.rng_chan)
+                        {
+                            self.queue
+                                .schedule_at(now + delay, Event::PeerFrame { to: 1 - i, bytes });
+                        }
+                    }
+                    EgpEvent::OkKeep(ok) => {
+                        let herald_cycle = ok.create_time_ps / self.cfg.scenario.mhp_cycle.as_ps();
+                        if ok.origin_is_local {
+                            let fidelity = self.keep_pair_fidelity(herald_cycle);
+                            self.record_ok(i, ok.create_id, fidelity);
+                        }
+                        self.release_ledger(herald_cycle, i);
+                    }
+                    EgpEvent::OkMeasure(ok) => {
+                        let herald_cycle = ok.create_time_ps / self.cfg.scenario.mhp_cycle.as_ps();
+                        if ok.origin_is_local {
+                            let fidelity = self
+                                .ledger
+                                .get(&herald_cycle)
+                                .map(|e| e.heralded_fidelity)
+                                .unwrap_or(0.0);
+                            self.tally_qber(herald_cycle, ok.basis);
+                            self.record_ok(i, ok.create_id, fidelity);
+                        }
+                        self.release_ledger(herald_cycle, i);
+                    }
+                    EgpEvent::Error(err) => {
+                        self.metrics.record_error(error_label(err.code));
+                        if err.code == EgpErrorCode::Expire && err.range_only {
+                            // Partial expiry: the affected pairs no
+                            // longer count as delivered.
+                            let span = err.seq_high.wrapping_sub(err.seq_low).min(16);
+                            if let Some(t) = self.tracking.get_mut(&(i, err.create_id)) {
+                                t.pairs_seen = t.pairs_seen.saturating_sub(span);
+                            }
+                        } else if matches!(
+                            err.code,
+                            EgpErrorCode::Timeout
+                                | EgpErrorCode::Unsupported
+                                | EgpErrorCode::Denied
+                                | EgpErrorCode::NoTime
+                                | EgpErrorCode::MemExceeded
+                                | EgpErrorCode::OutOfMem
+                        ) {
+                            self.tracking.remove(&(i, err.create_id));
+                        }
+                    }
+                    EgpEvent::Hw(directive) => self.apply_hw(i, directive),
+                }
+            }
+            work = std::mem::take(&mut next);
+        }
+    }
+
+    fn apply_hw(&mut self, node: usize, directive: HwDirective) {
+        let now = self.queue.now();
+        let nv = self.cfg.scenario.nv.clone();
+        match directive {
+            HwDirective::CorrectPsiMinus { cycle } => {
+                if let Some(pair) = self.ledger.get_mut(&cycle).and_then(|e| e.pair.as_mut()) {
+                    pair.apply_psi_minus_correction(Self::side_of(node));
+                }
+            }
+            HwDirective::MoveToMemory { cycle, .. } => {
+                let move_d = SimDuration::from_secs_f64(nv.move_duration_s);
+                if let Some(pair) = self.ledger.get_mut(&cycle).and_then(|e| e.pair.as_mut()) {
+                    // Catch up electron decoherence (the wait for the
+                    // midpoint reply), then apply the move.
+                    if now > pair.last_update() {
+                        pair.advance_to(now, &nv);
+                    }
+                    pair.move_to_carbon(Self::side_of(node), &nv);
+                    pair.skip_decoupled(now + move_d);
+                }
+            }
+            HwDirective::Discard { cycle } => {
+                self.release_ledger(cycle, node);
+            }
+        }
+    }
+
+    fn keep_pair_fidelity(&mut self, herald_cycle: u64) -> f64 {
+        let now = self.queue.now();
+        let nv = self.cfg.scenario.nv.clone();
+        match self.ledger.get_mut(&herald_cycle).and_then(|e| e.pair.as_mut()) {
+            Some(pair) => {
+                if now > pair.last_update() {
+                    pair.advance_to(now, &nv);
+                }
+                pair.fidelity(BellState::PsiPlus)
+            }
+            None => 0.0,
+        }
+    }
+
+    fn tally_qber(&mut self, herald_cycle: u64, basis: WireBasis) {
+        let Some(entry) = self.ledger.get(&herald_cycle) else {
+            return;
+        };
+        let Some((a, b)) = entry.bits else { return };
+        let bell = entry.outcome.bell_state();
+        let basis = from_wire_basis(basis);
+        let expect_equal = bell.correlation_sign(basis) > 0.0;
+        let error = (a == b) != expect_equal;
+        self.metrics.qber.record(basis, error);
+    }
+
+    fn record_ok(&mut self, origin: usize, create_id: u16, fidelity: f64) {
+        let now = self.queue.now();
+        let Some(t) = self.tracking.get_mut(&(origin, create_id)) else {
+            return;
+        };
+        t.pairs_seen += 1;
+        let kind = t.kind;
+        let latency = now.saturating_since(t.submitted);
+        let complete = t.pairs_seen >= t.pairs;
+        let pairs = t.pairs;
+        self.metrics.record_pair(kind, origin, fidelity, latency, now);
+        if complete {
+            self.metrics
+                .record_request_complete(kind, origin, pairs, latency, now);
+            self.tracking.remove(&(origin, create_id));
+        }
+    }
+
+    fn release_ledger(&mut self, cycle: u64, node: usize) {
+        if let Some(entry) = self.ledger.get_mut(&cycle) {
+            entry.released[node] = true;
+            if entry.released[0] && entry.released[1] {
+                self.ledger.remove(&cycle);
+            }
+        }
+    }
+
+    fn arm_delay(&self, node: usize) -> SimDuration {
+        if node == 0 {
+            self.cfg.scenario.arm_a_delay()
+        } else {
+            self.cfg.scenario.arm_b_delay()
+        }
+    }
+
+    fn max_arm_delay(&self) -> SimDuration {
+        self.cfg.scenario.arm_a_delay().max(self.cfg.scenario.arm_b_delay())
+    }
+
+    fn reply_timeout_cycles(&self) -> u64 {
+        self.cfg
+            .scenario
+            .reply_latency()
+            .as_ps()
+            .div_ceil(self.cfg.scenario.mhp_cycle.as_ps())
+            + 10
+    }
+}
+
+fn outcome_is_success(outcome: qlink_wire::fields::ReplyOutcome) -> bool {
+    matches!(
+        outcome,
+        qlink_wire::fields::ReplyOutcome::Attempt(o) if o.is_success()
+    )
+}
+
+fn from_wire_basis(b: WireBasis) -> Basis {
+    match b {
+        WireBasis::X => Basis::X,
+        WireBasis::Y => Basis::Y,
+        WireBasis::Z => Basis::Z,
+    }
+}
+
+fn error_label(code: EgpErrorCode) -> &'static str {
+    match code {
+        EgpErrorCode::Timeout => "TIMEOUT",
+        EgpErrorCode::Unsupported => "UNSUPP",
+        EgpErrorCode::MemExceeded => "MEMEXCEEDED",
+        EgpErrorCode::OutOfMem => "OUTOFMEM",
+        EgpErrorCode::Denied => "DENIED",
+        EgpErrorCode::Expire => "EXPIRE",
+        EgpErrorCode::NoTime => "NOTIME",
+        EgpErrorCode::Rejected => "REJECTED",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LinkConfig, SchedulerChoice};
+    use crate::workload::{GeneratedRequest, OriginPolicy, WorkloadSpec};
+
+    fn manual_lab(seed: u64) -> LinkSimulation {
+        LinkSimulation::new(LinkConfig::lab(WorkloadSpec::none(), seed))
+    }
+
+    fn md_request(pairs: u16) -> GeneratedRequest {
+        GeneratedRequest {
+            kind: RequestKind::Md,
+            pairs,
+            origin: 0,
+            fmin: 0.6,
+            tmax_us: 0,
+        }
+    }
+
+    fn nl_request(pairs: u16) -> GeneratedRequest {
+        GeneratedRequest {
+            kind: RequestKind::Nl,
+            pairs,
+            origin: 0,
+            fmin: 0.6,
+            tmax_us: 0,
+        }
+    }
+
+    #[test]
+    fn md_request_completes_with_plausible_fidelity() {
+        let mut sim = manual_lab(42);
+        sim.submit(0, md_request(2));
+        // psucc ≈ 1.2e-4 per cycle at α≈0.2 → 2 pairs well within ~4 s.
+        sim.run_for(SimDuration::from_secs(4));
+        let m = sim.metrics.kind_total(RequestKind::Md);
+        assert_eq!(m.pairs_delivered, 2, "MD request must complete");
+        assert_eq!(m.requests_completed, 1);
+        let f = m.fidelity.mean();
+        assert!((0.6..0.95).contains(&f), "fidelity {f}");
+    }
+
+    #[test]
+    fn nl_request_completes_with_storage_decay() {
+        let mut sim = manual_lab(7);
+        sim.submit(0, nl_request(1));
+        sim.run_for(SimDuration::from_secs(6));
+        let m = sim.metrics.kind_total(RequestKind::Nl);
+        assert_eq!(m.pairs_delivered, 1, "NL request must complete");
+        let f = m.fidelity.mean();
+        // K-type delivered fidelity: heralded minus wait+move noise,
+        // but at least the requested 0.6 on average.
+        assert!((0.55..0.9).contains(&f), "fidelity {f}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = manual_lab(seed);
+            sim.submit(0, md_request(3));
+            sim.run_for(SimDuration::from_secs(3));
+            (
+                sim.metrics.total_pairs(),
+                sim.events_fired(),
+                sim.metrics.kind_total(RequestKind::Md).fidelity.mean(),
+            )
+        };
+        assert_eq!(run(5), run(5), "same seed, same run");
+        assert_ne!(run(5).1, run(6).1, "different seeds diverge");
+    }
+
+    #[test]
+    fn workload_generates_and_completes_requests() {
+        let spec = WorkloadSpec::single(RequestKind::Md, 0.7, 1).with_origin(OriginPolicy::Random);
+        let mut sim = LinkSimulation::new(LinkConfig::lab(spec, 11));
+        sim.run_for(SimDuration::from_secs(6));
+        let m = sim.metrics.kind_total(RequestKind::Md);
+        assert!(m.pairs_delivered >= 2, "delivered {}", m.pairs_delivered);
+        assert!(sim.metrics.throughput(RequestKind::Md) > 0.0);
+    }
+
+    #[test]
+    fn qber_accumulates_for_md() {
+        let mut sim = manual_lab(13);
+        sim.submit(0, md_request(5));
+        sim.run_for(SimDuration::from_secs(8));
+        let total = sim.metrics.qber.x.1 + sim.metrics.qber.y.1 + sim.metrics.qber.z.1;
+        assert!(total >= 4, "QBER samples {total}");
+    }
+
+    #[test]
+    fn classical_loss_does_not_wedge_the_link() {
+        // §6.1: inflated loss, service still completes.
+        let mut sim = LinkSimulation::new(
+            LinkConfig::lab(WorkloadSpec::none(), 17).with_classical_loss(1e-3),
+        );
+        sim.submit(0, md_request(3));
+        sim.run_for(SimDuration::from_secs(8));
+        let m = sim.metrics.kind_total(RequestKind::Md);
+        assert_eq!(m.pairs_delivered, 3, "completes despite loss");
+    }
+
+    #[test]
+    fn ql2020_keep_slower_than_md() {
+        let mut sim = LinkSimulation::new(LinkConfig::ql2020(WorkloadSpec::none(), 19));
+        sim.submit(0, md_request(2));
+        sim.submit(0, nl_request(1));
+        sim.run_for(SimDuration::from_secs(12));
+        let md = sim.metrics.kind_total(RequestKind::Md);
+        let nl = sim.metrics.kind_total(RequestKind::Nl);
+        assert!(md.pairs_delivered >= 1, "MD made progress");
+        // NL needs ~16× more cycles per attempt on QL2020; with FCFS it
+        // still gets served.
+        assert!(nl.pairs_delivered <= md.pairs_delivered + 1);
+    }
+
+    #[test]
+    fn scheduler_choice_changes_behaviour() {
+        let spec = WorkloadSpec::from_pattern(&crate::config::UsagePattern::uniform(), 0.6);
+        let run = |sched| {
+            let mut sim =
+                LinkSimulation::new(LinkConfig::lab(spec, 23).with_scheduler(sched));
+            sim.run_for(SimDuration::from_secs(4));
+            sim.metrics.total_pairs()
+        };
+        // Both run; totals need not match exactly but both make progress.
+        assert!(run(SchedulerChoice::Fcfs) > 0);
+        assert!(run(SchedulerChoice::HigherWfq) > 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Top-level framing: discriminator byte + message body + CRC-32 trailer.
+//!
+//! This is the unit the classical channel models carry, drop, and
+//! corrupt. A frame that fails its CRC or fails to parse is discarded by
+//! the receiver, exactly as an Ethernet NIC discards a bad 802.3 frame —
+//! which is the error model of Appendix D.6.
+
+use crate::codec::{Reader, Writer};
+use crate::crc::crc32;
+use crate::dqp::DqpMessage;
+use crate::egp::{CreateMsg, ErrMsg, ExpireAckMsg, ExpireMsg, MemoryAdvertMsg, OkKeepMsg, OkMeasureMsg};
+use crate::mhp::{GenMsg, ReplyMsg};
+
+pub use crate::codec::WireError;
+
+/// Any control frame in the stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// DQP ADD / ACK / REJ (node ↔ node).
+    Dqp(DqpMessage),
+    /// MHP GEN (node → midpoint).
+    Gen(GenMsg),
+    /// MHP REPLY / ERR (midpoint → node).
+    Reply(ReplyMsg),
+    /// EGP EXPIRE (node ↔ node).
+    Expire(ExpireMsg),
+    /// EGP EXPIRE acknowledgement (node ↔ node).
+    ExpireAck(ExpireAckMsg),
+    /// EGP memory advertisement REQ(E)/ACK(E) (node ↔ node).
+    MemoryAdvert(MemoryAdvertMsg),
+    /// Higher layer → EGP CREATE (node-local; encoded for logging).
+    Create(CreateMsg),
+    /// EGP → higher layer OK for K-type requests.
+    OkKeep(OkKeepMsg),
+    /// EGP → higher layer OK for M-type requests.
+    OkMeasure(OkMeasureMsg),
+    /// EGP → higher layer error.
+    Err(ErrMsg),
+}
+
+impl Frame {
+    fn discriminator(&self) -> u8 {
+        match self {
+            Frame::Dqp(_) => 0x01,
+            Frame::Gen(_) => 0x02,
+            Frame::Reply(_) => 0x03,
+            Frame::Expire(_) => 0x04,
+            Frame::ExpireAck(_) => 0x05,
+            Frame::MemoryAdvert(_) => 0x06,
+            Frame::Create(_) => 0x07,
+            Frame::OkKeep(_) => 0x08,
+            Frame::OkMeasure(_) => 0x09,
+            Frame::Err(_) => 0x0A,
+        }
+    }
+
+    /// Short protocol name for tracing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Dqp(_) => "DQP",
+            Frame::Gen(_) => "GEN",
+            Frame::Reply(_) => "REPLY",
+            Frame::Expire(_) => "EXPIRE",
+            Frame::ExpireAck(_) => "EXPIRE-ACK",
+            Frame::MemoryAdvert(_) => "REQ(E)",
+            Frame::Create(_) => "CREATE",
+            Frame::OkKeep(_) => "OK(K)",
+            Frame::OkMeasure(_) => "OK(M)",
+            Frame::Err(_) => "ERR",
+        }
+    }
+
+    /// Serialises the frame: `[discriminator][body][crc32]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(self.discriminator());
+        match self {
+            Frame::Dqp(m) => m.encode(&mut w),
+            Frame::Gen(m) => m.encode(&mut w),
+            Frame::Reply(m) => m.encode(&mut w),
+            Frame::Expire(m) => m.encode(&mut w),
+            Frame::ExpireAck(m) => m.encode(&mut w),
+            Frame::MemoryAdvert(m) => m.encode(&mut w),
+            Frame::Create(m) => m.encode(&mut w),
+            Frame::OkKeep(m) => m.encode(&mut w),
+            Frame::OkMeasure(m) => m.encode(&mut w),
+            Frame::Err(m) => m.encode(&mut w),
+        }
+        let mut bytes = w.into_bytes();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_be_bytes());
+        bytes
+    }
+
+    /// Parses and validates a frame, verifying the CRC trailer and that
+    /// the body is exactly consumed.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        if bytes.len() < 5 {
+            return Err(WireError::Truncated {
+                needed: 5,
+                got: bytes.len(),
+            });
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(WireError::BadCrc { computed, stored });
+        }
+        let mut r = Reader::new(payload);
+        let disc = r.get_u8()?;
+        let frame = match disc {
+            0x01 => Frame::Dqp(DqpMessage::decode(&mut r)?),
+            0x02 => Frame::Gen(GenMsg::decode(&mut r)?),
+            0x03 => Frame::Reply(ReplyMsg::decode(&mut r)?),
+            0x04 => Frame::Expire(ExpireMsg::decode(&mut r)?),
+            0x05 => Frame::ExpireAck(ExpireAckMsg::decode(&mut r)?),
+            0x06 => Frame::MemoryAdvert(MemoryAdvertMsg::decode(&mut r)?),
+            0x07 => Frame::Create(CreateMsg::decode(&mut r)?),
+            0x08 => Frame::OkKeep(OkKeepMsg::decode(&mut r)?),
+            0x09 => Frame::OkMeasure(OkMeasureMsg::decode(&mut r)?),
+            0x0A => Frame::Err(ErrMsg::decode(&mut r)?),
+            _ => return Err(WireError::BadValue("frame discriminator")),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{AbsQueueId, Fidelity16, MidpointOutcome, ReplyOutcome, RequestFlags};
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Gen(GenMsg {
+                queue_id: AbsQueueId::new(1, 2),
+                timestamp_cycle: 3,
+            }),
+            Frame::Reply(ReplyMsg {
+                outcome: ReplyOutcome::Attempt(MidpointOutcome::PsiPlus),
+                mhp_seq: 4,
+                receiver_qid: AbsQueueId::new(1, 2),
+                peer_qid: Some(AbsQueueId::new(1, 2)),
+                timestamp_cycle: 3,
+            }),
+            Frame::Expire(ExpireMsg {
+                queue_id: AbsQueueId::new(0, 0),
+                origin_id: 1,
+                create_id: 0,
+                seq_low: 1,
+                seq_high: 2,
+            }),
+            Frame::ExpireAck(ExpireAckMsg {
+                queue_id: AbsQueueId::new(0, 0),
+                seq_expected: 2,
+            }),
+            Frame::MemoryAdvert(MemoryAdvertMsg {
+                is_ack: false,
+                comm_qubits: 1,
+                storage_qubits: 1,
+            }),
+            Frame::Create(CreateMsg {
+                remote_node_id: 2,
+                min_fidelity: Fidelity16::from_f64(0.64),
+                max_time_us: 1000,
+                purpose_id: 1,
+                number: 2,
+                priority: 3,
+                flags: RequestFlags {
+                    measure_directly: true,
+                    consecutive: true,
+                    ..Default::default()
+                },
+            }),
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_frame_kind() {
+        for f in sample_frames() {
+            let bytes = f.encode();
+            let back = Frame::decode(&bytes).unwrap();
+            assert_eq!(back, f, "round trip failed for {}", f.kind());
+        }
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        for f in sample_frames() {
+            let bytes = f.encode();
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x40;
+                assert!(
+                    Frame::decode(&bad).is_err(),
+                    "{}: flip at byte {i} went undetected",
+                    f.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample_frames()[0].encode();
+        for cut in 0..bytes.len() {
+            assert!(Frame::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_discriminator_rejected() {
+        let mut w = Writer::new();
+        w.put_u8(0x7F);
+        let mut bytes = w.into_bytes();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::BadValue("frame discriminator"))
+        );
+    }
+
+    #[test]
+    fn kind_strings() {
+        assert_eq!(sample_frames()[0].kind(), "GEN");
+        assert_eq!(sample_frames()[1].kind(), "REPLY");
+    }
+}

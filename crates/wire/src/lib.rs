@@ -1,0 +1,41 @@
+//! Classical control-message formats for the MHP / EGP / DQP protocols.
+//!
+//! The paper's Appendix E specifies packet diagrams for every control
+//! message in the stack (Figures 24, 27, 28, 31–39). This crate encodes
+//! and decodes all of them to real byte strings, so the channel models
+//! can drop and corrupt *actual frames* and the protocol recovery paths
+//! (EXPIRE, retransmission) are exercised against genuine parse
+//! failures, in the style of a production TCP/IP stack.
+//!
+//! # Layout conventions
+//!
+//! The paper's diagrams fix the *field inventory* and semantics but are
+//! not bit-consistent between the figures and the accompanying text
+//! (e.g. "Schedule Cycle … of 64 bits" beside a 32-bit diagram row).
+//! This implementation therefore uses a byte-aligned adaptation with
+//! documented widths:
+//!
+//! * multi-byte integers are big-endian (network order);
+//! * queue IDs are 4 bits used of a byte (16 priority queues, matching
+//!   the 4-bit Priority field of Fig. 24), queue sequence numbers are
+//!   16 bits;
+//! * MHP sequence numbers are 16 bits and compared modulo 2¹⁶
+//!   (Protocol 2, step 3(c)(iii)(C));
+//! * fidelities are 16-bit fixed point (`F·65535`);
+//! * MHP cycle numbers (schedule / timeout) are 64 bits, following the
+//!   text of §E.1.4;
+//! * every frame carries a CRC-32 trailer; the corruption model flips
+//!   bits and the decoder rejects the frame, matching the FER-based
+//!   error model of Appendix D.6 (undetected-CRC-error probability is
+//!   ~1.4e-23 there and is ignored, as in the paper).
+
+pub mod codec;
+pub mod crc;
+pub mod dqp;
+pub mod egp;
+pub mod fields;
+pub mod frame;
+pub mod mhp;
+
+pub use fields::{AbsQueueId, Fidelity16, MhpError, MidpointOutcome, RequestFlags, RequestType};
+pub use frame::{Frame, WireError};

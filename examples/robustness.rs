@@ -1,0 +1,56 @@
+//! Robustness to classical control-message loss (§6.1, Table 5).
+//!
+//! Cranks the classical frame-loss probability far beyond anything a
+//! real 1000BASE-ZX link produces (Appendix D.6.1 bounds realistic FER
+//! at ≈ 4×10⁻⁸) and shows the link-layer service stays consistent:
+//! requests complete, recovery (reply timeouts, EXPIRE resync) engages,
+//! and the metrics barely move.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example robustness
+//! ```
+
+use qlink::prelude::*;
+
+fn run(loss: f64) -> (u64, f64, u64, u64) {
+    let spec = WorkloadSpec::single(RequestKind::Md, 0.7, 3);
+    let mut sim = LinkSimulation::new(LinkConfig::lab(spec, 77).with_classical_loss(loss));
+    sim.run_for(SimDuration::from_secs(10));
+    let md = sim.metrics.kind_total(RequestKind::Md);
+    (
+        md.pairs_delivered,
+        md.fidelity.mean(),
+        sim.egp(0).expires_sent() + sim.egp(1).expires_sent(),
+        sim.metrics.error_count("EXPIRE"),
+    )
+}
+
+fn main() {
+    // First, what the link budget says realistic loss looks like.
+    let lb = qlink::classical::LinkBudget::gigabit_1000base_zx();
+    println!("realistic classical FER (1000BASE-ZX link budget):");
+    for km in [15.0, 20.0, 25.0] {
+        println!("  {km:>4} km, no splices : {:.1e}", lb.frame_error_rate(km));
+    }
+    let spliced = qlink::classical::LinkBudget::gigabit_1000base_zx().with_splices(30, 0.3);
+    println!("  15 km, 30 splices   : {:.1e}\n", spliced.frame_error_rate(15.0));
+
+    println!("stress test: inflated loss on every control channel (10 sim s each):");
+    println!(
+        "{:>8} {:>8} {:>10} {:>9} {:>12}",
+        "loss", "pairs", "fidelity", "expires", "expire errs"
+    );
+    let baseline = run(0.0);
+    for loss in [0.0, 1e-6, 1e-4, 1e-3, 1e-2] {
+        let (pairs, fidelity, expires, expire_errs) = if loss == 0.0 {
+            baseline
+        } else {
+            run(loss)
+        };
+        println!("{loss:>8.0e} {pairs:>8} {fidelity:>10.4} {expires:>9} {expire_errs:>12}");
+    }
+    println!();
+    println!("the paper's observation (§6.1): even at 1e-4 — six orders of magnitude");
+    println!("above realistic loss — throughput and fidelity shift only marginally.");
+}

@@ -1,0 +1,140 @@
+//! Property test: the Distributed Queue Protocol converges to
+//! identical queues at both nodes under arbitrary frame loss, as long
+//! as retransmission eventually succeeds (§E.1.2's Equal queue number
+//! / Uniqueness / Consistency properties).
+
+use proptest::prelude::*;
+use qlink::des::DetRng;
+use qlink::egp::dqueue::{
+    AddPayload, DistributedQueue, DqpEvent, DqueueConfig, Role,
+};
+use qlink::egp::request::RequestId;
+use qlink::wire::fields::{Fidelity16, RequestFlags};
+
+fn payload(create_id: u16, origin: u32, priority: u8) -> AddPayload {
+    AddPayload {
+        origin: RequestId { origin, create_id },
+        schedule_cycle: 100,
+        timeout_cycle: u64::MAX,
+        min_fidelity: Fidelity16::from_f64(0.6),
+        purpose_id: 1,
+        num_pairs: 1,
+        priority,
+        est_cycles_per_pair: 1_000,
+        flags: RequestFlags {
+            store: true,
+            ..Default::default()
+        },
+    }
+}
+
+/// Drives both queues with interleaved adds and a lossy in-order
+/// medium, then lets retransmissions drain losslessly. Returns the
+/// two final queue snapshots.
+fn run_session(
+    adds: &[(bool /* master side */, u8 /* priority */)],
+    loss: f64,
+    seed: u64,
+) -> (Vec<String>, Vec<String>) {
+    let mut rng = DetRng::new(seed);
+    let mut master = DistributedQueue::new(Role::Master, DqueueConfig::default());
+    let mut slave = DistributedQueue::new(Role::Slave, DqueueConfig::default());
+
+    // In-flight frames as (to_master?, msg).
+    let mut wire: Vec<(bool, qlink::wire::dqp::DqpMessage)> = Vec::new();
+    let mut cycle = 0u64;
+
+    let push_events = |events: Vec<DqpEvent>, from_master: bool,
+                           wire: &mut Vec<(bool, qlink::wire::dqp::DqpMessage)>,
+                           rng: &mut DetRng,
+                           lossy: bool| {
+        for ev in events {
+            if let DqpEvent::Send(msg) = ev {
+                if !(lossy && rng.bernoulli(loss)) {
+                    wire.push((!from_master, msg));
+                }
+            }
+        }
+    };
+
+    // Phase 1: submit all adds, lossy delivery.
+    for (i, (from_master, priority)) in adds.iter().enumerate() {
+        cycle += 10;
+        let p = payload(i as u16, if *from_master { 1 } else { 2 }, *priority);
+        let events = if *from_master {
+            master.add(p, cycle)
+        } else {
+            slave.add(p, cycle)
+        };
+        push_events(events, *from_master, &mut wire, &mut rng, true);
+        // Deliver anything on the wire (also lossy responses).
+        while let Some((to_master, msg)) = wire.pop() {
+            let events = if to_master {
+                master.on_frame(msg, cycle)
+            } else {
+                slave.on_frame(msg, cycle)
+            };
+            push_events(events, to_master, &mut wire, &mut rng, true);
+        }
+    }
+
+    // Phase 2: drive retransmission timers with a lossless wire until
+    // quiescent (loss is transient in reality too).
+    for _ in 0..40 {
+        cycle += 500;
+        let ev_m = master.tick(cycle);
+        push_events(ev_m, true, &mut wire, &mut rng, false);
+        let ev_s = slave.tick(cycle);
+        push_events(ev_s, false, &mut wire, &mut rng, false);
+        while let Some((to_master, msg)) = wire.pop() {
+            let events = if to_master {
+                master.on_frame(msg, cycle)
+            } else {
+                slave.on_frame(msg, cycle)
+            };
+            push_events(events, to_master, &mut wire, &mut rng, false);
+        }
+    }
+
+    let snapshot = |q: &DistributedQueue| {
+        q.iter()
+            .map(|e| {
+                format!(
+                    "{}:{}:{}:{}",
+                    e.aid.qid, e.aid.qseq, e.origin.origin, e.origin.create_id
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    (snapshot(&master), snapshot(&slave))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn queues_converge_under_loss(
+        adds in prop::collection::vec((any::<bool>(), 0u8..3), 1..20),
+        loss in 0.0f64..0.5,
+        seed: u64,
+    ) {
+        let (m, s) = run_session(&adds, loss, seed);
+        // Consistency: both nodes end with identical queue content.
+        prop_assert_eq!(&m, &s, "queues diverged");
+        // Uniqueness: no duplicate queue IDs.
+        let mut ids: Vec<&String> = m.iter().collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), m.len(), "duplicate queue ids");
+    }
+
+    #[test]
+    fn lossless_sessions_commit_everything(
+        adds in prop::collection::vec((any::<bool>(), 0u8..3), 1..20),
+        seed: u64,
+    ) {
+        let (m, s) = run_session(&adds, 0.0, seed);
+        prop_assert_eq!(m.len(), adds.len(), "every add commits without loss");
+        prop_assert_eq!(m, s);
+    }
+}

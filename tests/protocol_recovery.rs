@@ -1,0 +1,107 @@
+//! Failure-injection tests: the link layer must stay consistent under
+//! classical-control losses and corruption (§6.1's robustness claim).
+
+use qlink::prelude::*;
+
+fn md(pairs: u16) -> GeneratedRequest {
+    GeneratedRequest {
+        kind: RequestKind::Md,
+        pairs,
+        origin: 0,
+        fmin: 0.6,
+        tmax_us: 0,
+    }
+}
+
+#[test]
+fn completes_under_moderate_loss() {
+    let mut sim =
+        LinkSimulation::new(LinkConfig::lab(WorkloadSpec::none(), 11).with_classical_loss(1e-3));
+    sim.submit(0, md(4));
+    sim.run_for(SimDuration::from_secs(10));
+    let m = sim.metrics.kind_total(RequestKind::Md);
+    assert_eq!(m.pairs_delivered, 4, "all pairs despite 1e-3 loss");
+}
+
+#[test]
+fn completes_under_severe_loss() {
+    // 1% of every control frame lost — four orders of magnitude beyond
+    // the paper's stress ceiling. The service must still make progress
+    // (possibly slower, possibly with EXPIREs).
+    let mut sim =
+        LinkSimulation::new(LinkConfig::lab(WorkloadSpec::none(), 12).with_classical_loss(1e-2));
+    sim.submit(0, md(3));
+    sim.run_for(SimDuration::from_secs(15));
+    let m = sim.metrics.kind_total(RequestKind::Md);
+    assert!(
+        m.pairs_delivered >= 2,
+        "only {} pairs under 1% loss",
+        m.pairs_delivered
+    );
+}
+
+#[test]
+fn corruption_behaves_like_loss() {
+    // Corrupted frames fail CRC and are dropped; the protocol recovers
+    // the same way it does from loss.
+    let cfg = {
+        let mut c = LinkConfig::lab(WorkloadSpec::none(), 13);
+        c.classical_corruption = 1e-3;
+        c
+    };
+    let mut sim = LinkSimulation::new(cfg);
+    sim.submit(0, md(3));
+    sim.run_for(SimDuration::from_secs(10));
+    assert_eq!(sim.metrics.kind_total(RequestKind::Md).pairs_delivered, 3);
+}
+
+#[test]
+fn metrics_stable_across_loss_levels() {
+    // Table 5's shape: the relative difference between a lossless run
+    // and an inflated-loss run stays small for fidelity and pair count.
+    let run = |loss: f64| {
+        let spec = WorkloadSpec::single(RequestKind::Md, 0.7, 2);
+        let mut sim = LinkSimulation::new(LinkConfig::lab(spec, 14).with_classical_loss(loss));
+        sim.run_for(SimDuration::from_secs(10));
+        let m = sim.metrics.kind_total(RequestKind::Md);
+        (m.pairs_delivered as f64, m.fidelity.mean())
+    };
+    let (pairs0, fid0) = run(0.0);
+    let (pairs1, fid1) = run(1e-4);
+    assert!(pairs0 > 0.0);
+    let rel_pairs = qlink::math::stats::relative_difference(pairs0, pairs1);
+    let rel_fid = qlink::math::stats::relative_difference(fid0, fid1);
+    assert!(rel_pairs < 0.30, "pair count moved {rel_pairs} at 1e-4 loss");
+    assert!(rel_fid < 0.05, "fidelity moved {rel_fid} at 1e-4 loss");
+}
+
+#[test]
+fn keep_requests_survive_loss() {
+    let mut sim =
+        LinkSimulation::new(LinkConfig::lab(WorkloadSpec::none(), 15).with_classical_loss(1e-3));
+    sim.submit(
+        0,
+        GeneratedRequest {
+            kind: RequestKind::Nl,
+            pairs: 2,
+            origin: 0,
+            fmin: 0.6,
+            tmax_us: 0,
+        },
+    );
+    sim.run_for(SimDuration::from_secs(15));
+    let m = sim.metrics.kind_total(RequestKind::Nl);
+    assert!(m.pairs_delivered >= 1, "K-type under loss: {}", m.pairs_delivered);
+}
+
+#[test]
+fn deterministic_under_loss_given_seed() {
+    let run = |seed| {
+        let mut sim =
+            LinkSimulation::new(LinkConfig::lab(WorkloadSpec::none(), seed).with_classical_loss(5e-3));
+        sim.submit(0, md(3));
+        sim.run_for(SimDuration::from_secs(6));
+        (sim.metrics.total_pairs(), sim.events_fired())
+    };
+    assert_eq!(run(16), run(16));
+}
