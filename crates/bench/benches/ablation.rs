@@ -62,7 +62,10 @@ fn main() {
             w.md.kmax = 10;
             w
         };
-        let sim = run_link(LinkConfig::lab(spec, 202).with_scheduler(sched), scaled_secs(12.0));
+        let sim = run_link(
+            LinkConfig::lab(spec, 202).with_scheduler(sched),
+            scaled_secs(12.0),
+        );
         let ck = sim.metrics.kind_total(RequestKind::Ck);
         let md = sim.metrics.kind_total(RequestKind::Md);
         println!(

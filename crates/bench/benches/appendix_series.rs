@@ -73,7 +73,12 @@ fn main() {
             }
             .with_scheduler(sched);
             let sim = run_link(cfg, secs);
-            println!("--- {}_{} ({} pairs total)", label, sched.label(), sim.metrics.total_pairs());
+            println!(
+                "--- {}_{} ({} pairs total)",
+                label,
+                sched.label(),
+                sim.metrics.total_pairs()
+            );
             print_series(&sim, secs, if is_lab { 4 } else { 10 });
             println!();
         }

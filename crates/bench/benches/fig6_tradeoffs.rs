@@ -28,7 +28,10 @@ fn main() {
     // Fmin 0.58 for the load sweep: feasible for both kinds on QL2020
     // (our K-type ceiling there is 0.613 — DESIGN.md calibration note).
     println!("(a) scaled latency vs load fraction f (Fmin = 0.58):");
-    println!("{:>6} {:>6} {:>22} {:>14}", "kind", "f", "scaled latency (s)", "T (1/s)");
+    println!(
+        "{:>6} {:>6} {:>22} {:>14}",
+        "kind", "f", "scaled latency (s)", "T (1/s)"
+    );
     for kind in [RequestKind::Md, RequestKind::Nl] {
         for f in [0.7, 0.99, 1.3] {
             let m = run(kind, f, 0.58, secs, 61);

@@ -34,7 +34,9 @@ fn bench_event_queue(c: &mut Criterion) {
 fn bench_matrices(c: &mut Criterion) {
     let a = CMatrix::identity(16);
     let bmat = gates::cnot().kron(&gates::cnot());
-    c.bench_function("cmatrix_mul_16x16", |b| b.iter(|| black_box(&a) * black_box(&bmat)));
+    c.bench_function("cmatrix_mul_16x16", |b| {
+        b.iter(|| black_box(&a) * black_box(&bmat))
+    });
     c.bench_function("cmatrix_kron_4x4", |b| {
         b.iter(|| black_box(&gates::cnot()).kron(black_box(&gates::swap())))
     });
@@ -57,7 +59,9 @@ fn bench_wire(c: &mut Criterion) {
         queue_id: AbsQueueId::new(2, 1234),
         timestamp_cycle: 987_654_321,
     });
-    c.bench_function("frame_encode_gen", |b| b.iter(|| black_box(&frame).encode()));
+    c.bench_function("frame_encode_gen", |b| {
+        b.iter(|| black_box(&frame).encode())
+    });
     let bytes = frame.encode();
     c.bench_function("frame_decode_gen", |b| {
         b.iter(|| Frame::decode(black_box(&bytes)).unwrap())

@@ -60,10 +60,18 @@ fn main() {
             println!(
                 "{:<10} {:>12} {:>12} {:>12} | {:>18} {:>18} {:>18}",
                 sched.label(),
-                if no_nl { "-".into() } else { t(RequestKind::Nl) },
+                if no_nl {
+                    "-".into()
+                } else {
+                    t(RequestKind::Nl)
+                },
                 t(RequestKind::Ck),
                 t(RequestKind::Md),
-                if no_nl { "-".into() } else { sl(RequestKind::Nl) },
+                if no_nl {
+                    "-".into()
+                } else {
+                    sl(RequestKind::Nl)
+                },
                 sl(RequestKind::Ck),
                 sl(RequestKind::Md),
             );

@@ -17,12 +17,9 @@ fn main() {
     let sw = Stopwatch::new();
 
     println!("Table 2 — usage patterns (f, kmax) per kind:");
-    println!(
-        "{:<14} {:>16} {:>16} {:>16}",
-        "pattern", "NL", "CK", "MD"
-    );
+    println!("{:<14} {:>16} {:>16} {:>16}", "pattern", "NL", "CK", "MD");
     for p in UsagePattern::all() {
-        let f = |(frac, kmax): (f64, u16)| format!("f={frac:.3} k≤{kmax}", );
+        let f = |(frac, kmax): (f64, u16)| format!("f={frac:.3} k≤{kmax}",);
         println!(
             "{:<14} {:>16} {:>16} {:>16}",
             p.name,

@@ -44,12 +44,24 @@ fn main() {
 
     println!("Appendix D.6.1 — realistic 1000BASE-ZX frame error rates:");
     let lb = LinkBudget::gigabit_1000base_zx();
-    println!("  15 km, 0 splices          : {:.1e}", lb.frame_error_rate(15.0));
-    println!("  20 km, 0 splices          : {:.1e}", lb.frame_error_rate(20.0));
+    println!(
+        "  15 km, 0 splices          : {:.1e}",
+        lb.frame_error_rate(15.0)
+    );
+    println!(
+        "  20 km, 0 splices          : {:.1e}",
+        lb.frame_error_rate(20.0)
+    );
     let s30 = LinkBudget::gigabit_1000base_zx().with_splices(30, 0.3);
-    println!("  15 km, 30 × 0.3 dB splices: {:.1e}", s30.frame_error_rate(15.0));
+    println!(
+        "  15 km, 30 × 0.3 dB splices: {:.1e}",
+        s30.frame_error_rate(15.0)
+    );
     let s21 = LinkBudget::gigabit_1000base_zx().with_splices(21, 0.3);
-    println!("  20 km, 21 × 0.3 dB splices: {:.1e}", s21.frame_error_rate(20.0));
+    println!(
+        "  20 km, 21 × 0.3 dB splices: {:.1e}",
+        s21.frame_error_rate(20.0)
+    );
     println!();
 
     let secs = scaled_secs(12.0);

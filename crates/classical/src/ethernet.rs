@@ -96,12 +96,12 @@ impl LinkBudget {
         // (margin dB, log10 FER). Below 0 dB the link is dead (FER 1);
         // above 8 dB errors are beyond any observation horizon.
         const CURVE: [(f64, f64); 7] = [
-            (0.0, 0.0),    // FER 1: disconnected
-            (1.0, -2.0),   // narrow transition region
-            (1.6, -4.0),   // errors "start to be observed" (≈40 km)
+            (0.0, 0.0),  // FER 1: disconnected
+            (1.0, -2.0), // narrow transition region
+            (1.6, -4.0), // errors "start to be observed" (≈40 km)
             (3.0, -6.0),
-            (5.1, -7.4),   // ≈4e-8: 15 km + 30 × 0.3 dB splices
-            (5.3, -10.0),  // ≈1e-10: 20 km + 21 × 0.3 dB splices
+            (5.1, -7.4),  // ≈4e-8: 15 km + 30 × 0.3 dB splices
+            (5.3, -10.0), // ≈1e-10: 20 km + 21 × 0.3 dB splices
             (8.0, -13.0),
         ];
         if margin <= 0.0 {

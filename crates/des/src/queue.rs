@@ -90,7 +90,11 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `at` is in the past — the DES never rewinds.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });

@@ -220,7 +220,10 @@ mod tests {
         assert_eq!(SimDuration::from_nanos(1_000), SimDuration::from_micros(1));
         assert_eq!(SimDuration::from_micros(1_000), SimDuration::from_millis(1));
         assert_eq!(SimDuration::from_millis(1_000), SimDuration::from_secs(1));
-        assert_eq!(SimDuration::from_secs_f64(1.5), SimDuration::from_millis(1_500));
+        assert_eq!(
+            SimDuration::from_secs_f64(1.5),
+            SimDuration::from_millis(1_500)
+        );
     }
 
     #[test]
@@ -270,7 +273,10 @@ mod tests {
 
     #[test]
     fn display_chooses_unit() {
-        assert_eq!(format!("{}", SimDuration::from_micros_f64(10.12)), "10.120µs");
+        assert_eq!(
+            format!("{}", SimDuration::from_micros_f64(10.12)),
+            "10.120µs"
+        );
         assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
         assert_eq!(format!("{}", SimDuration::from_ps(42)), "42ps");
     }

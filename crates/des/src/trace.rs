@@ -16,7 +16,9 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
-        TimeSeries { samples: Vec::new() }
+        TimeSeries {
+            samples: Vec::new(),
+        }
     }
 
     /// Appends a sample. Timestamps must be non-decreasing.

@@ -272,7 +272,8 @@ impl DistributedQueue {
         match self.role {
             Role::Master => {
                 // Stage (fairness), commit, then announce to the slave.
-                self.staging.push_back((Origin::Ours, cseq, payload.clone()));
+                self.staging
+                    .push_back((Origin::Ours, cseq, payload.clone()));
                 let mut events = self.flush_staging(cycle);
                 // flush_staging registered the pending add; send its ADD.
                 if let Some(p) = self.pending.get(&cseq) {
@@ -330,10 +331,9 @@ impl DistributedQueue {
             } else {
                 p.retries_left -= 1;
                 p.next_retransmit_cycle = cycle + self.config.retransmit_cycles;
-                events.push(DqpEvent::Send(self.frame_for_pending(
-                    &self.pending[&cseq],
-                    DqpFrameType::Add,
-                )));
+                events.push(DqpEvent::Send(
+                    self.frame_for_pending(&self.pending[&cseq], DqpFrameType::Add),
+                ));
             }
         }
         events
@@ -613,7 +613,6 @@ impl DistributedQueue {
     }
 }
 
-
 fn rej_frame(msg: &DqpMessage) -> DqpMessage {
     DqpMessage {
         frame_type: DqpFrameType::Rej,
@@ -687,7 +686,9 @@ mod tests {
         let (mut m, mut s) = pair();
         let evs = m.add(payload(1, 1, 0), 0);
         let (mev, sev) = settle(&mut m, &mut s, evs, vec![], 0);
-        assert!(mev.iter().any(|e| matches!(e, DqpEvent::AddSucceeded { create_id: 1, .. })));
+        assert!(mev
+            .iter()
+            .any(|e| matches!(e, DqpEvent::AddSucceeded { create_id: 1, .. })));
         assert!(sev.iter().any(|e| matches!(e, DqpEvent::Committed(_))));
         assert_eq!(m.len(), 1);
         assert_eq!(s.len(), 1);
@@ -786,7 +787,9 @@ mod tests {
         let evs = m.add(payload(5, 1, 0), 0);
         let (mev, _) = settle(&mut m, &mut s, evs, vec![], 0);
         assert!(mev.iter().any(|e| matches!(e, DqpEvent::RolledBack { .. })));
-        assert!(mev.iter().any(|e| matches!(e, DqpEvent::AddRejected { .. })));
+        assert!(mev
+            .iter()
+            .any(|e| matches!(e, DqpEvent::AddRejected { .. })));
         assert_eq!(m.len(), 0, "master must roll back the commit");
     }
 
@@ -795,7 +798,10 @@ mod tests {
         let (mut m, mut s) = pair();
         // Drop the first ADD frame on the floor.
         let evs = m.add(payload(1, 1, 0), 0);
-        let send_count = evs.iter().filter(|e| matches!(e, DqpEvent::Send(_))).count();
+        let send_count = evs
+            .iter()
+            .filter(|e| matches!(e, DqpEvent::Send(_)))
+            .count();
         assert_eq!(send_count, 1);
         assert_eq!(m.len(), 1, "master committed optimistically");
         assert_eq!(s.len(), 0, "slave never saw it");
@@ -826,9 +832,7 @@ mod tests {
         assert_eq!(m.len(), 1, "no duplicate commit");
         let acks = |evs: &[DqpEvent]| {
             evs.iter()
-                .filter(|e| {
-                    matches!(e, DqpEvent::Send(f) if f.frame_type == DqpFrameType::Ack)
-                })
+                .filter(|e| matches!(e, DqpEvent::Send(f) if f.frame_type == DqpFrameType::Ack))
                 .count()
         };
         assert_eq!(acks(&first), 1);
@@ -939,7 +943,10 @@ mod tests {
         // only be enforced against *waiting* items; verify both origins
         // committed and total counts match.
         let ours = commit_order.iter().filter(|o| **o == Origin::Ours).count();
-        let theirs = commit_order.iter().filter(|o| **o == Origin::Theirs).count();
+        let theirs = commit_order
+            .iter()
+            .filter(|o| **o == Origin::Theirs)
+            .count();
         assert_eq!(ours, 12);
         assert_eq!(theirs, 3);
     }

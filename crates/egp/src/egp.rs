@@ -19,9 +19,11 @@
 //!   queue-mismatch reconciliation;
 //! * intersperse test rounds (Appendix B) and feed the QBER estimator.
 
-use crate::dqueue::{AddPayload, DistributedQueue, DqpEvent, DqueueConfig, QueueEntry, RejectReason, Role};
+use crate::dqueue::{
+    AddPayload, DistributedQueue, DqpEvent, DqueueConfig, QueueEntry, RejectReason, Role,
+};
 use crate::feu::{FidelityEstimator, QberEstimator};
-use crate::qmm::{QubitId, QuantumMemoryManager};
+use crate::qmm::{QuantumMemoryManager, QubitId};
 use crate::request::{Request, RequestId, RequestState};
 use crate::scheduler::SchedulerPolicy;
 use crate::shared_random::SharedRandomness;
@@ -30,8 +32,8 @@ use qlink_phys::params::ScenarioParams;
 use qlink_quantum::bell::BellState;
 use qlink_quantum::Basis;
 use qlink_wire::egp::{
-    CreateMsg, EgpErrorCode, ErrMsg, ExpireAckMsg, ExpireMsg, MemoryAdvertMsg, OkKeepMsg, OkMeasureMsg,
-    WireBasis,
+    CreateMsg, EgpErrorCode, ErrMsg, ExpireAckMsg, ExpireMsg, MemoryAdvertMsg, OkKeepMsg,
+    OkMeasureMsg, WireBasis,
 };
 use qlink_wire::fields::{
     seq_after, AbsQueueId, MhpError, MidpointOutcome, ReplyOutcome, RequestType,
@@ -129,10 +131,7 @@ impl EgpConfig {
         scheduler: SchedulerPolicy,
     ) -> Self {
         let cycle = scenario.mhp_cycle;
-        let reply_cycles = scenario
-            .reply_latency()
-            .as_ps()
-            .div_ceil(cycle.as_ps());
+        let reply_cycles = scenario.reply_latency().as_ps().div_ceil(cycle.as_ps());
         let rtt_ab = (scenario.arm_a_delay() + scenario.arm_b_delay()).as_ps() * 2;
         let min_time = rtt_ab.div_ceil(cycle.as_ps()) + 3;
         EgpConfig {
@@ -141,8 +140,16 @@ impl EgpConfig {
             role,
             scenario,
             dq: DqueueConfig {
-                master_node: if role == Role::Master { node_id } else { peer_id },
-                slave_node: if role == Role::Master { peer_id } else { node_id },
+                master_node: if role == Role::Master {
+                    node_id
+                } else {
+                    peer_id
+                },
+                slave_node: if role == Role::Master {
+                    peer_id
+                } else {
+                    node_id
+                },
                 ..DqueueConfig::default()
             },
             scheduler,
@@ -234,8 +241,10 @@ impl Egp {
     /// Builds an EGP instance.
     pub fn new(cfg: EgpConfig) -> Self {
         let cycle_s = cfg.scenario.mhp_cycle.as_secs_f64();
-        let reinit_period_cycles = (cfg.scenario.nv.carbon_reinit_period_s / cycle_s).round() as u64;
-        let reinit_duration_cycles = (cfg.scenario.nv.carbon_reinit_duration_s / cycle_s).ceil() as u64;
+        let reinit_period_cycles =
+            (cfg.scenario.nv.carbon_reinit_period_s / cycle_s).round() as u64;
+        let reinit_duration_cycles =
+            (cfg.scenario.nv.carbon_reinit_duration_s / cycle_s).ceil() as u64;
         let move_cycles = (cfg.scenario.nv.move_duration_s / cycle_s).ceil() as u64;
         let keep_cadence_cycles = if cfg.scenario.keep_waits_for_reply {
             cfg.scenario
@@ -269,9 +278,9 @@ impl Egp {
             move_cycles,
             keep_cadence_cycles,
             next_keep_cycle: 0,
-            effective_nmo_threshold: cfg.nmo_resync_threshold.max(
-                (cfg.reply_timeout_cycles / keep_cadence_cycles + 4) as u32,
-            ),
+            effective_nmo_threshold: cfg
+                .nmo_resync_threshold
+                .max((cfg.reply_timeout_cycles / keep_cadence_cycles + 4) as u32),
             expires_sent: 0,
             expires_received: 0,
             cfg,
@@ -329,13 +338,17 @@ impl Egp {
         let rtype = msg.flags.request_type();
         // Atomic requests must fit the device (§4.1.2 MEMEXCEEDED).
         if rtype == RequestType::Keep && msg.flags.atomic && !self.qmm.can_ever_store(msg.number) {
-            events.push(EgpEvent::Error(self.err(create_id, EgpErrorCode::MemExceeded)));
+            events.push(EgpEvent::Error(
+                self.err(create_id, EgpErrorCode::MemExceeded),
+            ));
             return (create_id, events);
         }
         // FEU: α and feasibility (UNSUPP).
         let fmin = msg.min_fidelity.to_f64();
         let Some(choice) = self.feu.choose_alpha(fmin, rtype) else {
-            events.push(EgpEvent::Error(self.err(create_id, EgpErrorCode::Unsupported)));
+            events.push(EgpEvent::Error(
+                self.err(create_id, EgpErrorCode::Unsupported),
+            ));
             return (create_id, events);
         };
         let cycle_us = self.cfg.scenario.mhp_cycle.as_micros_f64();
@@ -346,7 +359,9 @@ impl Egp {
         };
         let est = self.feu.estimate_completion_cycles(&choice, msg.number);
         if est > tmax_cycles {
-            events.push(EgpEvent::Error(self.err(create_id, EgpErrorCode::Unsupported)));
+            events.push(EgpEvent::Error(
+                self.err(create_id, EgpErrorCode::Unsupported),
+            ));
             return (create_id, events);
         }
         let min_cycle = cycle + self.cfg.min_time_cycles;
@@ -400,7 +415,8 @@ impl Egp {
             }
             Frame::Expire(msg) => self.on_expire(msg, cycle),
             Frame::ExpireAck(msg) => {
-                self.pending_expires.retain(|p| p.msg.queue_id != msg.queue_id);
+                self.pending_expires
+                    .retain(|p| p.msg.queue_id != msg.queue_id);
                 // The acknowledger reports its up-to-date expectation;
                 // adopt it if ahead (stops stale-sequence discards).
                 if seq_after(msg.seq_expected, self.seq_expected) {
@@ -461,7 +477,10 @@ impl Egp {
         let Some(aid) = self.cfg.scheduler.select(ready.into_iter()) else {
             return (None, events);
         };
-        let req = self.requests.get_mut(&aid).expect("selected from ready set");
+        let req = self
+            .requests
+            .get_mut(&aid)
+            .expect("selected from ready set");
         req.state = RequestState::InService;
         let rtype = req.request_type();
 
@@ -501,7 +520,8 @@ impl Egp {
 
         // Test-round / basis strings are indexed by the shared cycle
         // number so both nodes agree without communication.
-        let is_test = rtype == RequestType::Keep && self.cfg.shared_random.is_test_round(aid, cycle);
+        let is_test =
+            rtype == RequestType::Keep && self.cfg.shared_random.is_test_round(aid, cycle);
         let kind = if rtype == RequestType::Measure || is_test {
             AttemptKind::Measure {
                 basis: self.cfg.shared_random.basis(aid, cycle),
@@ -536,7 +556,12 @@ impl Egp {
     /// Processes a RESULT from the MHP (Protocol 2 step 3). For M-type
     /// attempts `local_bit` carries this node's measurement outcome
     /// (from the physical ledger).
-    pub fn on_mhp_result(&mut self, result: &MhpResult, local_bit: Option<u8>, cycle: u64) -> Vec<EgpEvent> {
+    pub fn on_mhp_result(
+        &mut self,
+        result: &MhpResult,
+        local_bit: Option<u8>,
+        cycle: u64,
+    ) -> Vec<EgpEvent> {
         let mut events = Vec::new();
         // Clear the K in-flight marker for this window.
         let was_keep = matches!(result.spec.kind, AttemptKind::Keep);
@@ -721,7 +746,9 @@ impl Egp {
                 self.qmm.release_comm();
             }
             self.seq_expected = seq.wrapping_add(1);
-            events.push(EgpEvent::Hw(HwDirective::Discard { cycle: result.cycle }));
+            events.push(EgpEvent::Hw(HwDirective::Discard {
+                cycle: result.cycle,
+            }));
             return;
         }
 
@@ -756,7 +783,9 @@ impl Egp {
             if was_keep {
                 self.qmm.release_comm();
             }
-            events.push(EgpEvent::Hw(HwDirective::Discard { cycle: result.cycle }));
+            events.push(EgpEvent::Hw(HwDirective::Discard {
+                cycle: result.cycle,
+            }));
             self.seq_expected = seq.wrapping_add(1);
             return;
         } else {
@@ -764,7 +793,9 @@ impl Egp {
             if was_keep {
                 self.qmm.release_comm();
             }
-            events.push(EgpEvent::Hw(HwDirective::Discard { cycle: result.cycle }));
+            events.push(EgpEvent::Hw(HwDirective::Discard {
+                cycle: result.cycle,
+            }));
             return;
         }
 
@@ -772,7 +803,9 @@ impl Egp {
         if result.spec.test_round {
             let req = self.requests.get_mut(&aid).expect("checked above");
             req.round += 1;
-            events.push(EgpEvent::Hw(HwDirective::Discard { cycle: result.cycle }));
+            events.push(EgpEvent::Hw(HwDirective::Discard {
+                cycle: result.cycle,
+            }));
             return;
         }
 
@@ -783,7 +816,9 @@ impl Egp {
             if was_keep {
                 self.qmm.release_comm();
             }
-            events.push(EgpEvent::Hw(HwDirective::Discard { cycle: result.cycle }));
+            events.push(EgpEvent::Hw(HwDirective::Discard {
+                cycle: result.cycle,
+            }));
             return;
         }
 
@@ -795,7 +830,9 @@ impl Egp {
                 // Step 3(c)(iv): correction to |Ψ+⟩ by the originator.
                 let req = self.requests.get_mut(&aid).expect("checked above");
                 if success == MidpointOutcome::PsiMinus && req.id.origin == self.cfg.node_id {
-                    events.push(EgpEvent::Hw(HwDirective::CorrectPsiMinus { cycle: result.cycle }));
+                    events.push(EgpEvent::Hw(HwDirective::CorrectPsiMinus {
+                        cycle: result.cycle,
+                    }));
                 }
                 let qubit = self
                     .qmm
@@ -807,9 +844,9 @@ impl Egp {
                 // attempt window (shared) rather than to this node's
                 // reply-processing time (which differs on unequal
                 // arms), and grid-align so the nodes re-lock.
-                self.next_keep_cycle = self.next_keep_cycle.max(self.grid_align(
-                    result.cycle + self.keep_cadence_cycles + self.move_cycles,
-                ));
+                self.next_keep_cycle = self.next_keep_cycle.max(
+                    self.grid_align(result.cycle + self.keep_cadence_cycles + self.move_cycles),
+                );
                 self.pending_move = Some(PendingMove {
                     aid,
                     seq,
@@ -874,7 +911,9 @@ impl Egp {
         let Some(req) = self.requests.get_mut(&pm.aid) else {
             // Request vanished (timed out) while the move ran.
             self.qmm.release_storage(pm.qubit);
-            events.push(EgpEvent::Hw(HwDirective::Discard { cycle: pm.herald_cycle }));
+            events.push(EgpEvent::Hw(HwDirective::Discard {
+                cycle: pm.herald_cycle,
+            }));
             return;
         };
         req.pairs_done += 1;
@@ -887,8 +926,12 @@ impl Egp {
             purpose_id: req.create.purpose_id,
             remote_node_id: self.cfg.peer_id,
             goodness: qlink_wire::fields::Fidelity16::from_f64(req.goodness),
-            goodness_time_ps: req.accepted_cycle.saturating_mul(self.cfg.scenario.mhp_cycle.as_ps()),
-            create_time_ps: pm.herald_cycle.saturating_mul(self.cfg.scenario.mhp_cycle.as_ps()),
+            goodness_time_ps: req
+                .accepted_cycle
+                .saturating_mul(self.cfg.scenario.mhp_cycle.as_ps()),
+            create_time_ps: pm
+                .herald_cycle
+                .saturating_mul(self.cfg.scenario.mhp_cycle.as_ps()),
         };
         let aid = pm.aid;
         self.issued_seqs.entry(aid).or_default().push_back(pm.seq);
@@ -1156,7 +1199,9 @@ impl Egp {
             pairs_done: 0,
             round: 0,
             state: RequestState::Queued,
-            accepted_cycle: entry.schedule_cycle.saturating_sub(self.cfg.min_time_cycles),
+            accepted_cycle: entry
+                .schedule_cycle
+                .saturating_sub(self.cfg.min_time_cycles),
             completed_cycle: None,
         }
     }
@@ -1196,10 +1241,10 @@ fn seq_in_range(s: u16, lo: u16, hi: u16) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qlink_des::DetRng;
     use qlink_phys::attempt::AttemptModel;
     use qlink_phys::mhp::{Midpoint, NodeMhp};
     use qlink_phys::params::ScenarioParams;
-    use qlink_des::DetRng;
     use qlink_wire::fields::{Fidelity16, RequestFlags};
 
     const A: u32 = 1;
@@ -1207,8 +1252,20 @@ mod tests {
 
     fn lab_pair(scheduler: SchedulerPolicy) -> (Egp, Egp) {
         let scenario = ScenarioParams::lab();
-        let a = Egp::new(EgpConfig::for_scenario(A, B, Role::Master, scenario.clone(), scheduler.clone()));
-        let b = Egp::new(EgpConfig::for_scenario(B, A, Role::Slave, scenario, scheduler));
+        let a = Egp::new(EgpConfig::for_scenario(
+            A,
+            B,
+            Role::Master,
+            scenario.clone(),
+            scheduler.clone(),
+        ));
+        let b = Egp::new(EgpConfig::for_scenario(
+            B,
+            A,
+            Role::Slave,
+            scenario,
+            scheduler,
+        ));
         (a, b)
     }
 
@@ -1312,7 +1369,9 @@ mod tests {
                 self.midpoint.on_photon(act.photon);
                 self.midpoint.on_gen(B, act.gen);
             }
-            let eval = self.midpoint.evaluate_window(cycle, &self.model, &mut self.rng);
+            let eval = self
+                .midpoint
+                .evaluate_window(cycle, &self.model, &mut self.rng);
             let bits = eval.herald.as_ref().and_then(|h| h.measured_bits);
             for (node, reply) in eval.replies {
                 if node == A && self.drop_reply_a_cycles.contains(&reply.timestamp_cycle) {
@@ -1406,7 +1465,15 @@ mod tests {
         let (_, evs) = h.egp_a.create(msg, 0);
         let errs: Vec<&EgpEvent> = evs
             .iter()
-            .filter(|e| matches!(e, EgpEvent::Error(ErrMsg { code: EgpErrorCode::Unsupported, .. })))
+            .filter(|e| {
+                matches!(
+                    e,
+                    EgpEvent::Error(ErrMsg {
+                        code: EgpErrorCode::Unsupported,
+                        ..
+                    })
+                )
+            })
             .collect();
         assert_eq!(errs.len(), 1, "0.99 must be UNSUPP: {evs:?}");
     }
@@ -1417,9 +1484,13 @@ mod tests {
         let mut msg = create_msg(10, false, 2);
         msg.max_time_us = 100; // 10 pairs in 100 µs is impossible
         let (_, evs) = h.egp_a.create(msg, 0);
-        assert!(evs
-            .iter()
-            .any(|e| matches!(e, EgpEvent::Error(ErrMsg { code: EgpErrorCode::Unsupported, .. }))));
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            EgpEvent::Error(ErrMsg {
+                code: EgpErrorCode::Unsupported,
+                ..
+            })
+        )));
     }
 
     #[test]
@@ -1428,9 +1499,13 @@ mod tests {
         let mut msg = create_msg(3, true, 1);
         msg.flags.atomic = true;
         let (_, evs) = h.egp_a.create(msg, 0);
-        assert!(evs
-            .iter()
-            .any(|e| matches!(e, EgpEvent::Error(ErrMsg { code: EgpErrorCode::MemExceeded, .. }))));
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            EgpEvent::Error(ErrMsg {
+                code: EgpErrorCode::MemExceeded,
+                ..
+            })
+        )));
     }
 
     #[test]
@@ -1452,9 +1527,7 @@ mod tests {
         // bit beyond.
         h.run(198_500);
         assert!(
-            h.errors_a
-                .iter()
-                .any(|e| e.code == EgpErrorCode::Timeout),
+            h.errors_a.iter().any(|e| e.code == EgpErrorCode::Timeout),
             "expected TIMEOUT, got {:?}",
             h.errors_a
         );
@@ -1476,8 +1549,7 @@ mod tests {
         // the link must still complete all 3 pairs for both sides.
         assert_eq!(h.count_oks(true), 3, "A completes despite losses");
         assert!(
-            h.egp_a.expires_sent() + h.egp_b.expires_received() > 0
-                || h.count_oks(false) >= 3,
+            h.egp_a.expires_sent() + h.egp_b.expires_received() > 0 || h.count_oks(false) >= 3,
             "recovery path exercised"
         );
         // Sequence expectations realign.
@@ -1519,9 +1591,16 @@ mod tests {
         let mut h = Harness::new(SchedulerPolicy::fcfs());
         // Rebuild A and B with test rounds enabled.
         let scenario = ScenarioParams::lab();
-        let mut cfg_a = EgpConfig::for_scenario(A, B, Role::Master, scenario.clone(), SchedulerPolicy::fcfs());
+        let mut cfg_a = EgpConfig::for_scenario(
+            A,
+            B,
+            Role::Master,
+            scenario.clone(),
+            SchedulerPolicy::fcfs(),
+        );
         cfg_a.shared_random = SharedRandomness::new(5, 0.3);
-        let mut cfg_b = EgpConfig::for_scenario(B, A, Role::Slave, scenario, SchedulerPolicy::fcfs());
+        let mut cfg_b =
+            EgpConfig::for_scenario(B, A, Role::Slave, scenario, SchedulerPolicy::fcfs());
         cfg_b.shared_random = SharedRandomness::new(5, 0.3);
         h.egp_a = Egp::new(cfg_a);
         h.egp_b = Egp::new(cfg_b);

@@ -395,7 +395,8 @@ mod tests {
                 1 => Basis::Y,
                 _ => Basis::Z,
             };
-            let (a, b) = model.sample_measurement_bits(AttemptOutcome::PsiPlus, basis, basis, &mut rng);
+            let (a, b) =
+                model.sample_measurement_bits(AttemptOutcome::PsiPlus, basis, basis, &mut rng);
             est.record(BellState::PsiPlus, basis, a, b);
         }
         let measured = est.fidelity_estimate().unwrap();

@@ -53,8 +53,11 @@ impl SchedulerPolicy {
         match self {
             SchedulerPolicy::Fcfs => ready
                 .min_by(|a, b| {
-                    (a.schedule_cycle, a.aid.qid, a.aid.qseq)
-                        .cmp(&(b.schedule_cycle, b.aid.qid, b.aid.qseq))
+                    (a.schedule_cycle, a.aid.qid, a.aid.qseq).cmp(&(
+                        b.schedule_cycle,
+                        b.aid.qid,
+                        b.aid.qseq,
+                    ))
                 })
                 .map(|e| e.aid),
             SchedulerPolicy::StrictThenWfq { strict } => {
@@ -123,7 +126,11 @@ mod tests {
 
     #[test]
     fn fcfs_tie_breaks_by_queue_then_seq() {
-        let items = [entry(1, 5, 100, 0.0), entry(1, 3, 100, 0.0), entry(0, 9, 100, 0.0)];
+        let items = [
+            entry(1, 5, 100, 0.0),
+            entry(1, 3, 100, 0.0),
+            entry(0, 9, 100, 0.0),
+        ];
         let pick = SchedulerPolicy::fcfs().select(items.iter()).unwrap();
         assert_eq!(pick, AbsQueueId::new(0, 9));
     }
@@ -135,7 +142,9 @@ mod tests {
             entry(1, 0, 100, 1.0), // CK, tiny VF
             entry(2, 0, 100, 2.0), // MD
         ];
-        let pick = SchedulerPolicy::nl_strict_wfq().select(items.iter()).unwrap();
+        let pick = SchedulerPolicy::nl_strict_wfq()
+            .select(items.iter())
+            .unwrap();
         assert_eq!(pick, AbsQueueId::new(0, 7), "NL must preempt");
     }
 
@@ -145,7 +154,9 @@ mod tests {
             entry(1, 0, 100, 50.0), // CK
             entry(2, 0, 100, 10.0), // MD with earlier finish
         ];
-        let pick = SchedulerPolicy::nl_strict_wfq().select(items.iter()).unwrap();
+        let pick = SchedulerPolicy::nl_strict_wfq()
+            .select(items.iter())
+            .unwrap();
         assert_eq!(pick, AbsQueueId::new(2, 0));
     }
 
@@ -175,7 +186,9 @@ mod tests {
     #[test]
     fn wfq_ties_break_deterministically() {
         let items = [entry(1, 1, 100, 10.0), entry(2, 0, 100, 10.0)];
-        let pick = SchedulerPolicy::nl_strict_wfq().select(items.iter()).unwrap();
+        let pick = SchedulerPolicy::nl_strict_wfq()
+            .select(items.iter())
+            .unwrap();
         assert_eq!(pick, AbsQueueId::new(1, 1), "equal VF → lower queue id");
     }
 }

@@ -93,7 +93,10 @@ mod tests {
         let a = SharedRandomness::new(42, 0.1);
         let b = SharedRandomness::new(42, 0.1);
         for round in 0..1000 {
-            assert_eq!(a.is_test_round(qid(3), round), b.is_test_round(qid(3), round));
+            assert_eq!(
+                a.is_test_round(qid(3), round),
+                b.is_test_round(qid(3), round)
+            );
             assert_eq!(a.basis(qid(3), round), b.basis(qid(3), round));
         }
     }
@@ -111,9 +114,7 @@ mod tests {
     #[test]
     fn test_round_frequency_close_to_q() {
         let s = SharedRandomness::new(7, 0.125);
-        let hits = (0..10_000)
-            .filter(|&r| s.is_test_round(qid(9), r))
-            .count();
+        let hits = (0..10_000).filter(|&r| s.is_test_round(qid(9), r)).count();
         assert!((1_000..=1_500).contains(&hits), "hits = {hits}");
     }
 

@@ -164,7 +164,10 @@ mod tests {
         // Paper value: σ = 14.3°/√2 in radians.
         let sigma = 14.3_f64.to_radians() / std::f64::consts::SQRT_2;
         let pd = phase_uncertainty_dephasing(sigma);
-        assert!(pd > 0.0 && pd < 0.05, "Lab-scale dephasing should be small: {pd}");
+        assert!(
+            pd > 0.0 && pd < 0.05,
+            "Lab-scale dephasing should be small: {pd}"
+        );
     }
 
     #[test]

@@ -183,7 +183,8 @@ impl CMatrix {
 
     /// `true` if `A†A ≈ I` with tolerance `tol`.
     pub fn is_unitary(&self, tol: f64) -> bool {
-        self.is_square() && (self.adjoint() * self.clone()).approx_eq(&CMatrix::identity(self.rows), tol)
+        self.is_square()
+            && (self.adjoint() * self.clone()).approx_eq(&CMatrix::identity(self.rows), tol)
     }
 
     /// The quadratic form `⟨v| A |v⟩` for a column vector `v`.
@@ -228,11 +229,20 @@ impl IndexMut<(usize, usize)> for CMatrix {
 impl Add for &CMatrix {
     type Output = CMatrix;
     fn add(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix add shape");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix add shape"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
         }
     }
 }
@@ -240,11 +250,20 @@ impl Add for &CMatrix {
 impl Sub for &CMatrix {
     type Output = CMatrix;
     fn sub(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "matrix sub shape");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "matrix sub shape"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
         }
     }
 }
@@ -351,7 +370,9 @@ mod tests {
         let z = pauli_z();
         assert!(x.trace().approx_eq(ZERO, 1e-15));
         assert!(z.trace().approx_eq(ZERO, 1e-15));
-        assert!(CMatrix::identity(3).trace().approx_eq(Complex::real(3.0), 1e-15));
+        assert!(CMatrix::identity(3)
+            .trace()
+            .approx_eq(Complex::real(3.0), 1e-15));
         assert!((&x + &z).trace().approx_eq(ZERO, 1e-15));
     }
 

@@ -41,8 +41,17 @@ impl BisectResult {
 ///
 /// # Panics
 /// Panics if `lo >= hi` or either bound is non-finite.
-pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, xtol: f64, max_iter: u32) -> BisectResult {
-    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bisect: bad interval [{lo}, {hi}]");
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    xtol: f64,
+    max_iter: u32,
+) -> BisectResult {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "bisect: bad interval [{lo}, {hi}]"
+    );
     let mut a = lo;
     let mut b = hi;
     let mut fa = f(a);

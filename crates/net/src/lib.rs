@@ -1,0 +1,38 @@
+//! The network layer: shared-clock multi-link simulation with
+//! SWAP-ASAP repeater control.
+//!
+//! The paper's conclusion names this rung of the stack — "a robust
+//! network layer control protocol" consuming link-layer NL pairs
+//! (§3.3, §3.4, Figure 1b). This crate provides it, in the shape later
+//! network-stack work settled on (per-node protocol machines above
+//! independent link-layer instances, coordinating over classical
+//! channels — cf. arXiv:2111.11332, arXiv:1904.08605):
+//!
+//! * [`topology`] — node–edge graphs (chains, stars, arbitrary) where
+//!   every edge carries a full [`qlink_sim::config::LinkConfig`] and a
+//!   delaying classical control channel;
+//! * [`network`] — all links of a topology embedded in **one** global
+//!   discrete-event queue: a single `SimTime` stream orders every MHP
+//!   cycle of every link against every control message, and runs stay
+//!   bit-reproducible per seed;
+//! * [`node`] — SWAP-ASAP state machines: repeaters swap the moment
+//!   pairs exist on both their path edges, ends collect Bell-outcome
+//!   frames; composition applies the exact simulated memory decay via
+//!   [`qlink_quantum::ops::entanglement_swap`];
+//! * [`chain`] — the repeater-chain convenience wrapper (successor of
+//!   the deprecated `qlink_sim::chain::RepeaterChain`);
+//! * [`sweep`] — the parallel scenario-sweep driver: a scenario × seed
+//!   matrix fanned across OS threads with deterministic merged
+//!   aggregates.
+
+pub mod chain;
+pub mod network;
+pub mod node;
+pub mod sweep;
+pub mod topology;
+
+pub use chain::RepeaterChain;
+pub use network::{EndToEndOutcome, Network, TraceEntry, TraceKind};
+pub use node::{NodeAction, PathRole, SwapAsapNode};
+pub use sweep::{sweep, LinkScenario, RunRecord, ScenarioSpec, ScenarioStats, SweepReport};
+pub use topology::{Edge, Node, Topology};

@@ -1,0 +1,686 @@
+//! The shared-clock multi-link network simulation.
+//!
+//! Every quantum link of a [`Topology`] — each a full
+//! [`LinkSimulation`] with the complete EGP/MHP/physics stack — is
+//! embedded into **one** global discrete-event queue. The network
+//! layer schedules a wake event at each link's next internal firing
+//! time; when the global clock reaches it, the link is advanced to
+//! exactly that instant and its deliveries are observed. Classical
+//! control messages (path reservation, swap results) travel the same
+//! queue with per-edge propagation delays. The result is a single
+//! total order over every event of every link and every control
+//! message — one `SimTime` stream — and, because ties break by
+//! insertion order and all randomness is seeded, bit-reproducible
+//! multi-node runs.
+//!
+//! On top sits SWAP-ASAP repeater control (see [`crate::node`]): NL
+//! CREATEs are issued along the reserved path, intermediate nodes swap
+//! as soon as both adjacent pairs exist, and the composed end-to-end
+//! state — decayed in memory for exactly the simulated storage times —
+//! is delivered with its true simulated latency.
+
+use crate::node::{NodeAction, PathRole, SwapAsapNode};
+use crate::topology::Topology;
+use qlink_des::{DetRng, EventQueue, SimDuration, SimTime};
+use qlink_quantum::bell::{bell_fidelity, werner_from_fidelity, BellState};
+use qlink_quantum::ops::entanglement_swap;
+use qlink_quantum::{channels, gates, QuantumState};
+use qlink_sim::config::RequestKind;
+use qlink_sim::link::{Delivery, LinkSimulation};
+use qlink_sim::workload::GeneratedRequest;
+use std::collections::HashMap;
+
+/// A network-layer classical control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ControlMsg {
+    /// Path reservation traveling from source toward destination; each
+    /// node it reaches issues the NL CREATE on its downstream edge.
+    Reserve { request: u64 },
+    /// A repeater's Bell-measurement outcome, forwarded hop-by-hop to
+    /// `target` (one of the path's ends).
+    SwapResult {
+        request: u64,
+        target: usize,
+        z: u8,
+        x: u8,
+    },
+}
+
+/// An event on the shared network queue.
+#[derive(Debug)]
+enum NetEvent {
+    /// Advance link `link` to the current global time.
+    LinkWake { link: usize, gen: u64 },
+    /// Deliver a control message at node `at`.
+    Control { at: usize, msg: ControlMsg },
+}
+
+/// What kind of activity a trace entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A link advanced to the global clock.
+    LinkWake(usize),
+    /// A classical control message arrived at a node.
+    Control(usize),
+    /// A link delivered an NL pair on an edge.
+    Delivery(usize),
+    /// A repeater performed its Bell-state measurement.
+    Swap(usize),
+    /// An end-to-end request completed.
+    Complete(u64),
+}
+
+/// One timestamped entry of the shared-clock activity trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Global simulated time of the activity.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// One delivered end-to-end entanglement.
+#[derive(Debug, Clone)]
+pub struct EndToEndOutcome {
+    /// The request this outcome serves.
+    pub request: u64,
+    /// Node path, source first.
+    pub path: Vec<usize>,
+    /// Delivered link fidelity per path edge, in path order.
+    pub link_fidelities: Vec<f64>,
+    /// Fidelity of the end-to-end pair after all swaps and the full
+    /// simulated memory decay.
+    pub end_to_end_fidelity: f64,
+    /// True simulated latency: CREATE submission to the instant both
+    /// ends hold a usable pair (last swap result received).
+    pub latency: SimDuration,
+    /// Global time of completion.
+    pub delivered_at: SimTime,
+    /// Number of entanglement swaps performed.
+    pub swaps: u32,
+    /// Accumulated Pauli-Z parity of the swaps' Bell-measurement
+    /// outcomes. **Already applied**: the correction is folded into
+    /// the delivered state (and thus `end_to_end_fidelity`) at swap
+    /// time; these bits record the classical information that had to
+    /// reach the ends, they are *not* a pending correction to apply.
+    pub frame_z: u8,
+    /// Accumulated Pauli-X parity; already applied, see
+    /// [`EndToEndOutcome::frame_z`].
+    pub frame_x: u8,
+}
+
+/// One contiguous entangled segment of a path (initially one link
+/// pair; swaps merge adjacent segments until one spans the path).
+/// Qubit 0 of `state` lives at node `a`, qubit 1 at node `b`; both
+/// halves sit in carbon memories and decay with the `(T1, T2)` of
+/// their node's hardware.
+#[derive(Debug, Clone)]
+struct Segment {
+    a: usize,
+    b: usize,
+    state: QuantumState,
+    decay_a: (f64, f64),
+    decay_b: (f64, f64),
+    updated: SimTime,
+}
+
+impl Segment {
+    /// Reverses the segment's orientation (qubit order and metadata).
+    fn flip(&mut self) {
+        self.state.apply_unitary(&gates::swap(), &[0, 1]);
+        std::mem::swap(&mut self.a, &mut self.b);
+        std::mem::swap(&mut self.decay_a, &mut self.decay_b);
+    }
+
+    /// Applies carbon-memory decoherence from `updated` to `t`.
+    fn decay_to(&mut self, t: SimTime) {
+        let dt = t.saturating_since(self.updated).as_secs_f64();
+        if dt > 0.0 {
+            let (t1a, t2a) = self.decay_a;
+            let (t1b, t2b) = self.decay_b;
+            self.state
+                .apply_kraus(&channels::t1t2_decay(dt, t1a, t2a), &[0]);
+            self.state
+                .apply_kraus(&channels::t1t2_decay(dt, t1b, t2b), &[1]);
+        }
+        self.updated = t;
+    }
+}
+
+#[derive(Debug)]
+struct PathRequest {
+    path: Vec<usize>,
+    edges: Vec<usize>,
+    fmin: f64,
+    requested_at: SimTime,
+    segments: Vec<Segment>,
+    link_fidelities: Vec<Option<f64>>,
+    ends_ready: [Option<SimTime>; 2],
+    frame: (u8, u8),
+    swaps: u32,
+}
+
+/// A multi-node quantum network on one shared event queue.
+pub struct Network {
+    topo: Topology,
+    links: Vec<LinkSimulation>,
+    nodes: Vec<SwapAsapNode>,
+    queue: EventQueue<NetEvent>,
+    wake_gen: Vec<u64>,
+    rng: DetRng,
+    requests: HashMap<u64, PathRequest>,
+    pending_creates: HashMap<(usize, usize, u16), u64>,
+    next_request: u64,
+    outcomes: Vec<EndToEndOutcome>,
+    trace: Option<Vec<TraceEntry>>,
+    /// Total simulated time this network has been run for.
+    pub elapsed: SimDuration,
+}
+
+impl Network {
+    /// Builds the network: one full link-layer simulation per edge
+    /// (seeded from its own `LinkConfig`), one SWAP-ASAP node machine
+    /// per topology node. `seed` drives network-layer randomness (the
+    /// Bell-measurement outcomes of the swaps).
+    ///
+    /// # Panics
+    /// Panics on a topology with no edges.
+    pub fn new(topo: Topology, seed: u64) -> Self {
+        assert!(topo.edge_count() > 0, "a network needs at least one link");
+        let links: Vec<LinkSimulation> = topo
+            .edges()
+            .iter()
+            .map(|e| {
+                let mut link = LinkSimulation::new(e.link.clone());
+                // The network layer drains deliveries at every wake.
+                link.capture_deliveries();
+                link
+            })
+            .collect();
+        let nodes = (0..topo.node_count())
+            .map(|_| SwapAsapNode::new())
+            .collect();
+        let mut net = Network {
+            wake_gen: vec![0; links.len()],
+            links,
+            nodes,
+            queue: EventQueue::new(),
+            rng: DetRng::new(seed).substream("net/swap"),
+            requests: HashMap::new(),
+            pending_creates: HashMap::new(),
+            next_request: 0,
+            outcomes: Vec::new(),
+            trace: None,
+            elapsed: SimDuration::ZERO,
+            topo,
+        };
+        for link in 0..net.links.len() {
+            net.schedule_wake(link);
+        }
+        net
+    }
+
+    /// Starts recording the shared-clock activity trace (off by
+    /// default — multi-second runs produce millions of entries).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded trace (empty unless [`Network::enable_trace`] was
+    /// called before running).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Current global simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The topology this network runs.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Borrow the link simulation on edge `edge` (metrics inspection).
+    pub fn link(&self, edge: usize) -> &LinkSimulation {
+        &self.links[edge]
+    }
+
+    /// Borrow a node's protocol state machine.
+    pub fn node(&self, node: usize) -> &SwapAsapNode {
+        &self.nodes[node]
+    }
+
+    /// Total events fired: shared-queue events plus every link's
+    /// internal events.
+    pub fn events_fired(&self) -> u64 {
+        self.queue.events_fired() + self.links.iter().map(|l| l.events_fired()).sum::<u64>()
+    }
+
+    /// Requests end-to-end entanglement between `src` and `dst` at
+    /// minimum link fidelity `fmin`; returns the request id. The path
+    /// is reserved immediately; NL CREATEs are issued hop-by-hop as
+    /// the reservation message propagates over the classical control
+    /// channels.
+    ///
+    /// # Panics
+    /// Panics if no path connects the nodes.
+    pub fn request_entanglement(&mut self, src: usize, dst: usize, fmin: f64) -> u64 {
+        let path = self
+            .topo
+            .shortest_path(src, dst)
+            .unwrap_or_else(|| panic!("no path from {src} to {dst}"));
+        let edges = self.topo.path_edges(&path);
+        let id = self.next_request;
+        self.next_request += 1;
+
+        let repeaters = (path.len() - 2) as u32;
+        for (i, &n) in path.iter().enumerate() {
+            let role = if i == 0 {
+                PathRole::End {
+                    edge: edges[0],
+                    expected_swaps: repeaters,
+                }
+            } else if i == path.len() - 1 {
+                PathRole::End {
+                    edge: edges[i - 1],
+                    expected_swaps: repeaters,
+                }
+            } else {
+                PathRole::Repeater {
+                    left: edges[i - 1],
+                    right: edges[i],
+                }
+            };
+            self.nodes[n].reserve(id, role);
+        }
+        self.requests.insert(
+            id,
+            PathRequest {
+                fmin,
+                requested_at: self.queue.now(),
+                segments: Vec::new(),
+                link_fidelities: vec![None; edges.len()],
+                ends_ready: [None, None],
+                frame: (0, 0),
+                swaps: 0,
+                path,
+                edges,
+            },
+        );
+
+        // The source issues its CREATE now; downstream nodes issue
+        // theirs when the reservation reaches them.
+        self.submit_nl(id, 0, fmin);
+        self.forward_reserve(id, 0);
+        id
+    }
+
+    /// Runs the network for `duration` of global simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let horizon = self.queue.now() + duration;
+        while let Some((t, ev)) = self.queue.pop_until(horizon) {
+            self.handle(t, ev);
+        }
+        self.account_elapsed(duration, horizon);
+    }
+
+    /// Runs until the next end-to-end outcome, or until `max_time` of
+    /// additional simulated time passes. On timeout the request keeps
+    /// running (cancel with [`Network::cancel_request`] if desired).
+    pub fn run_until_outcome(&mut self, max_time: SimDuration) -> Option<EndToEndOutcome> {
+        let start = self.queue.now();
+        let deadline = start + max_time;
+        while self.outcomes.is_empty() {
+            match self.queue.pop_until(deadline) {
+                Some((t, ev)) => self.handle(t, ev),
+                None => break,
+            }
+        }
+        let end = self.queue.now();
+        self.account_elapsed(end.since(start), end);
+        if self.outcomes.is_empty() {
+            None
+        } else {
+            Some(self.outcomes.remove(0))
+        }
+    }
+
+    /// Takes every completed outcome accumulated so far.
+    pub fn take_outcomes(&mut self) -> Vec<EndToEndOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Abandons an in-flight request: releases the path reservation
+    /// and stops matching its link deliveries. (The link layers may
+    /// still serve the already-queued CREATEs; their pairs are then
+    /// simply discarded by the network layer.)
+    pub fn cancel_request(&mut self, request: u64) {
+        if let Some(req) = self.requests.remove(&request) {
+            for &n in &req.path {
+                self.nodes[n].release(request);
+            }
+        }
+        self.pending_creates.retain(|_, r| *r != request);
+    }
+
+    // ---- internals ---------------------------------------------------
+
+    fn account_elapsed(&mut self, duration: SimDuration, horizon: SimTime) {
+        self.elapsed += duration;
+        for link in &mut self.links {
+            // Pure clock parking: every link event at or before the
+            // horizon was already processed through its wake.
+            link.advance_to(horizon);
+            link.metrics.elapsed += duration;
+        }
+    }
+
+    fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry { at, kind });
+        }
+    }
+
+    /// (Re)schedules the wake for a link's next internal event. Any
+    /// previously scheduled wake becomes stale via the generation
+    /// counter.
+    fn schedule_wake(&mut self, link: usize) {
+        if let Some(t) = self.links[link].next_event_time() {
+            self.wake_gen[link] += 1;
+            let gen = self.wake_gen[link];
+            self.queue
+                .schedule_at(t.max(self.queue.now()), NetEvent::LinkWake { link, gen });
+        }
+    }
+
+    fn handle(&mut self, t: SimTime, ev: NetEvent) {
+        match ev {
+            NetEvent::LinkWake { link, gen } => {
+                if gen != self.wake_gen[link] {
+                    return; // superseded by a later-scheduled, earlier wake
+                }
+                self.record(t, TraceKind::LinkWake(link));
+                self.links[link].advance_to(t);
+                let deliveries = self.links[link].drain_deliveries();
+                for d in deliveries {
+                    self.on_delivery(link, d, t);
+                }
+                self.schedule_wake(link);
+            }
+            NetEvent::Control { at, msg } => {
+                self.record(t, TraceKind::Control(at));
+                match msg {
+                    ControlMsg::Reserve { request } => self.on_reserve(request, at),
+                    ControlMsg::SwapResult {
+                        request,
+                        target,
+                        z,
+                        x,
+                    } => {
+                        self.on_swap_result(request, at, target, z, x, t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Issues the NL CREATE for path edge position `pos` of `request`.
+    fn submit_nl(&mut self, request: u64, pos: usize, fmin: f64) {
+        let Some(req) = self.requests.get(&request) else {
+            return;
+        };
+        let edge_idx = req.edges[pos];
+        let submitting_node = req.path[pos];
+        let side = self.topo.edge(edge_idx).side_of(submitting_node);
+        let now = self.queue.now();
+        // Align the link's clock with the global instant of submission.
+        self.links[edge_idx].advance_to(now);
+        let create_id = self.links[edge_idx].submit(
+            side,
+            GeneratedRequest {
+                kind: RequestKind::Nl,
+                pairs: 1,
+                origin: side,
+                fmin,
+                tmax_us: 0,
+            },
+        );
+        self.pending_creates
+            .insert((edge_idx, side, create_id), request);
+        self.schedule_wake(edge_idx);
+    }
+
+    /// Forwards the reservation from path position `pos` to the next
+    /// node that must issue a CREATE.
+    fn forward_reserve(&mut self, request: u64, pos: usize) {
+        let Some(req) = self.requests.get(&request) else {
+            return;
+        };
+        // The node at position `len - 2` submits the last edge; the
+        // reservation needs to travel no further.
+        if pos + 1 >= req.path.len() - 1 {
+            return;
+        }
+        let next = req.path[pos + 1];
+        let delay = self.topo.edge(req.edges[pos]).control_delay;
+        self.queue.schedule_in(
+            delay,
+            NetEvent::Control {
+                at: next,
+                msg: ControlMsg::Reserve { request },
+            },
+        );
+    }
+
+    fn on_reserve(&mut self, request: u64, at: usize) {
+        let Some(req) = self.requests.get(&request) else {
+            return;
+        };
+        let Some(pos) = req.path.iter().position(|&n| n == at) else {
+            return;
+        };
+        let fmin = req.fmin;
+        self.submit_nl(request, pos, fmin);
+        self.forward_reserve(request, pos);
+    }
+
+    fn on_delivery(&mut self, edge_idx: usize, d: Delivery, t: SimTime) {
+        if d.kind != RequestKind::Nl {
+            return;
+        }
+        let Some(&request) = self.pending_creates.get(&(edge_idx, d.origin, d.create_id)) else {
+            return;
+        };
+        self.pending_creates
+            .remove(&(edge_idx, d.origin, d.create_id));
+        self.record(t, TraceKind::Delivery(edge_idx));
+
+        let edge = self.topo.edge(edge_idx);
+        let (a, b) = (edge.a, edge.b);
+        let nv = &edge.link.scenario.nv;
+        let decay = (nv.carbon_t1, nv.carbon_t2);
+        // The delivered fidelity summarises the pair as a Werner state
+        // — the one-parameter model a network layer tracks per link.
+        let state = werner_from_fidelity(BellState::PhiPlus, d.fidelity);
+
+        {
+            let Some(req) = self.requests.get_mut(&request) else {
+                return;
+            };
+            if let Some(pos) = req.edges.iter().position(|&e| e == edge_idx) {
+                req.link_fidelities[pos] = Some(d.fidelity);
+            }
+            req.segments.push(Segment {
+                a,
+                b,
+                state,
+                decay_a: decay,
+                decay_b: decay,
+                updated: t,
+            });
+        }
+
+        for node in [a, b] {
+            if let Some(action) = self.nodes[node].on_pair(request, edge_idx) {
+                self.apply_action(node, action, t);
+            }
+        }
+    }
+
+    fn apply_action(&mut self, node: usize, action: NodeAction, t: SimTime) {
+        match action {
+            NodeAction::Swap { request, .. } => self.do_swap(node, request, t),
+            NodeAction::EndReady {
+                request,
+                frame_z,
+                frame_x,
+            } => self.on_end_ready(node, request, frame_z, frame_x, t),
+        }
+    }
+
+    /// Executes a repeater's entanglement swap on the quantum ledger
+    /// and broadcasts the Bell-measurement outcome to both ends.
+    fn do_swap(&mut self, node: usize, request: u64, t: SimTime) {
+        self.record(t, TraceKind::Swap(node));
+        let (src, dst, outcome) = {
+            let Some(req) = self.requests.get_mut(&request) else {
+                return;
+            };
+            let i1 = req
+                .segments
+                .iter()
+                .position(|s| s.a == node || s.b == node)
+                .expect("swap without a left segment");
+            let mut s1 = req.segments.swap_remove(i1);
+            let i2 = req
+                .segments
+                .iter()
+                .position(|s| s.a == node || s.b == node)
+                .expect("swap without a right segment");
+            let mut s2 = req.segments.swap_remove(i2);
+            // Orient [far1 .. node][node .. far2].
+            if s1.a == node {
+                s1.flip();
+            }
+            if s2.b == node {
+                s2.flip();
+            }
+            // Catch both halves' memories up to the swap instant.
+            s1.decay_to(t);
+            s2.decay_to(t);
+            // Register [far1, node, node, far2]: BSM on the middle
+            // two, Pauli correction folded onto far2.
+            let mut joint = s1.state.tensor(&s2.state);
+            let outcome = entanglement_swap(&mut joint, 1, 2, 3, self.rng.raw());
+            let state = joint.partial_trace(&[0, 3]);
+            req.segments.push(Segment {
+                a: s1.a,
+                b: s2.b,
+                state,
+                decay_a: s1.decay_a,
+                decay_b: s2.decay_b,
+                updated: t,
+            });
+            req.swaps += 1;
+            (req.path[0], *req.path.last().unwrap(), outcome)
+        };
+        for target in [src, dst] {
+            self.forward_swap_result(request, node, target, outcome.z_bit, outcome.x_bit);
+        }
+    }
+
+    /// Sends a swap result one hop from `from` toward `target` over
+    /// the classical control channel of the connecting path edge.
+    fn forward_swap_result(&mut self, request: u64, from: usize, target: usize, z: u8, x: u8) {
+        let Some(req) = self.requests.get(&request) else {
+            return;
+        };
+        let pos = req
+            .path
+            .iter()
+            .position(|&n| n == from)
+            .expect("off-path sender");
+        let tpos = req
+            .path
+            .iter()
+            .position(|&n| n == target)
+            .expect("off-path target");
+        debug_assert_ne!(pos, tpos);
+        let (next, via) = if tpos > pos {
+            (req.path[pos + 1], req.edges[pos])
+        } else {
+            (req.path[pos - 1], req.edges[pos - 1])
+        };
+        let delay = self.topo.edge(via).control_delay;
+        self.queue.schedule_in(
+            delay,
+            NetEvent::Control {
+                at: next,
+                msg: ControlMsg::SwapResult {
+                    request,
+                    target,
+                    z,
+                    x,
+                },
+            },
+        );
+    }
+
+    fn on_swap_result(&mut self, request: u64, at: usize, target: usize, z: u8, x: u8, t: SimTime) {
+        if at != target {
+            self.forward_swap_result(request, at, target, z, x);
+            return;
+        }
+        if let Some(action) = self.nodes[at].on_swap_result(request, z, x) {
+            self.apply_action(at, action, t);
+        }
+    }
+
+    fn on_end_ready(&mut self, node: usize, request: u64, frame_z: u8, frame_x: u8, t: SimTime) {
+        let complete = {
+            let Some(req) = self.requests.get_mut(&request) else {
+                return;
+            };
+            let side = if node == req.path[0] { 0 } else { 1 };
+            req.ends_ready[side] = Some(t);
+            req.frame = (frame_z, frame_x);
+            req.ends_ready.iter().all(|r| r.is_some())
+        };
+        if complete {
+            self.finalize(request, t);
+        }
+    }
+
+    fn finalize(&mut self, request: u64, t: SimTime) {
+        let Some(req) = self.requests.remove(&request) else {
+            return;
+        };
+        for &n in &req.path {
+            self.nodes[n].release(request);
+        }
+        self.record(t, TraceKind::Complete(request));
+        debug_assert_eq!(req.segments.len(), 1, "completion with fragmented path");
+        let mut seg = req.segments.into_iter().next().expect("spanning segment");
+        // The pair keeps decaying until the later end learned its
+        // Pauli frame — only then is the entanglement usable.
+        seg.decay_to(t);
+        let fidelity = bell_fidelity(&seg.state, (0, 1), BellState::PhiPlus);
+        self.outcomes.push(EndToEndOutcome {
+            request,
+            link_fidelities: req
+                .link_fidelities
+                .iter()
+                .map(|f| f.expect("complete path with missing link fidelity"))
+                .collect(),
+            end_to_end_fidelity: fidelity,
+            latency: t.since(req.requested_at),
+            delivered_at: t,
+            swaps: req.swaps,
+            frame_z: req.frame.0,
+            frame_x: req.frame.1,
+            path: req.path,
+        });
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-node SWAP-ASAP protocol state machines.
+//!
+//! Each node of the topology runs one [`SwapAsapNode`]. For every
+//! path reservation it plays one of two roles: an *end* (source or
+//! destination — it holds one half of the would-be end-to-end pair and
+//! must collect the repeaters' Bell-measurement outcomes before the
+//! pair is usable; the quantum ledger folds the Pauli correction into
+//! the state at swap time, so the collected bits gate *usability*,
+//! not a correction still to be applied), or a *repeater* (it swaps —
+//! performs a Bell-state
+//! measurement over its two halves — **as soon as** pairs on both of
+//! its path edges exist; hence SWAP-ASAP, the greedy policy of the
+//! repeater literature, e.g. arXiv:2111.11332's chain demonstration).
+//!
+//! The node machines are pure decision logic: they never touch the
+//! event queue or the quantum ledger. The [`crate::network::Network`]
+//! feeds them observations (pair deliveries, swap-result messages) and
+//! executes the [`NodeAction`]s they emit, which keeps every quantum
+//! operation and every classical transmission on the shared clock.
+
+use std::collections::HashMap;
+
+/// A node's role in one reserved path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathRole {
+    /// Source or destination: one path edge, collects swap results.
+    End {
+        /// The node's single path edge.
+        edge: usize,
+        /// Swap results needed before the frame is fixed
+        /// (= number of repeaters on the path).
+        expected_swaps: u32,
+    },
+    /// Intermediate repeater: swaps its two path edges.
+    Repeater {
+        /// Path edge toward the source.
+        left: usize,
+        /// Path edge toward the destination.
+        right: usize,
+    },
+}
+
+/// What a node decides to do in response to an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeAction {
+    /// Repeater: both halves present — swap `left` and `right` now.
+    Swap {
+        /// The request being served.
+        request: u64,
+        /// Path edge toward the source.
+        left: usize,
+        /// Path edge toward the destination.
+        right: usize,
+    },
+    /// End: own pair present and every swap result received — this
+    /// side of the end-to-end pair is now usable (the ledger applied
+    /// the corrections at swap time; the bits below are the record of
+    /// what arrived classically).
+    EndReady {
+        /// The request being served.
+        request: u64,
+        /// Accumulated Pauli-Z frame bit.
+        frame_z: u8,
+        /// Accumulated Pauli-X frame bit.
+        frame_x: u8,
+    },
+}
+
+#[derive(Debug)]
+struct PathState {
+    role: PathRole,
+    have_left: bool,
+    have_right: bool,
+    swapped: bool,
+    swap_results: u32,
+    frame_z: u8,
+    frame_x: u8,
+}
+
+/// The SWAP-ASAP state machine of one network node.
+#[derive(Debug, Default)]
+pub struct SwapAsapNode {
+    paths: HashMap<u64, PathState>,
+    /// Total swaps this node has performed (across requests).
+    pub swaps_performed: u64,
+}
+
+impl SwapAsapNode {
+    /// Creates an idle node.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-flight path reservations at this node.
+    pub fn active_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Reserves this node for a path with the given role.
+    ///
+    /// # Panics
+    /// Panics if the request is already reserved here.
+    pub fn reserve(&mut self, request: u64, role: PathRole) {
+        let prev = self.paths.insert(
+            request,
+            PathState {
+                role,
+                have_left: false,
+                have_right: false,
+                swapped: false,
+                swap_results: 0,
+                frame_z: 0,
+                frame_x: 0,
+            },
+        );
+        assert!(prev.is_none(), "request {request} reserved twice");
+    }
+
+    /// Releases a path reservation (completion or timeout).
+    pub fn release(&mut self, request: u64) {
+        self.paths.remove(&request);
+    }
+
+    /// Observation: a link pair on `edge` now exists for `request`.
+    /// Returns the action this unlocks, if any.
+    pub fn on_pair(&mut self, request: u64, edge: usize) -> Option<NodeAction> {
+        let st = self.paths.get_mut(&request)?;
+        match st.role {
+            PathRole::End {
+                edge: own,
+                expected_swaps,
+            } => {
+                if edge == own {
+                    st.have_left = true;
+                }
+                Self::end_ready(request, st, expected_swaps)
+            }
+            PathRole::Repeater { left, right } => {
+                if edge == left {
+                    st.have_left = true;
+                } else if edge == right {
+                    st.have_right = true;
+                }
+                if st.have_left && st.have_right && !st.swapped {
+                    st.swapped = true;
+                    self.swaps_performed += 1;
+                    Some(NodeAction::Swap {
+                        request,
+                        left,
+                        right,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Observation: a repeater's swap result (the two BSM bits)
+    /// arrived at this node. Ends fold it into their Pauli frame;
+    /// repeaters ignore it.
+    pub fn on_swap_result(&mut self, request: u64, z: u8, x: u8) -> Option<NodeAction> {
+        let st = self.paths.get_mut(&request)?;
+        let PathRole::End { expected_swaps, .. } = st.role else {
+            return None;
+        };
+        st.swap_results += 1;
+        st.frame_z ^= z;
+        st.frame_x ^= x;
+        Self::end_ready(request, st, expected_swaps)
+    }
+
+    fn end_ready(request: u64, st: &mut PathState, expected: u32) -> Option<NodeAction> {
+        if st.have_left && st.swap_results >= expected && !st.swapped {
+            // `swapped` doubles as the ends' "ready already reported"
+            // latch so completion fires exactly once.
+            st.swapped = true;
+            Some(NodeAction::EndReady {
+                request,
+                frame_z: st.frame_z,
+                frame_x: st.frame_x,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeater_swaps_exactly_when_both_sides_arrive() {
+        let mut n = SwapAsapNode::new();
+        n.reserve(1, PathRole::Repeater { left: 0, right: 1 });
+        assert_eq!(n.on_pair(1, 0), None);
+        assert_eq!(
+            n.on_pair(1, 1),
+            Some(NodeAction::Swap {
+                request: 1,
+                left: 0,
+                right: 1
+            })
+        );
+        // Duplicate observations never re-swap.
+        assert_eq!(n.on_pair(1, 0), None);
+        assert_eq!(n.swaps_performed, 1);
+    }
+
+    #[test]
+    fn end_waits_for_pair_and_all_results() {
+        let mut n = SwapAsapNode::new();
+        n.reserve(
+            7,
+            PathRole::End {
+                edge: 2,
+                expected_swaps: 2,
+            },
+        );
+        assert_eq!(n.on_swap_result(7, 1, 0), None);
+        assert_eq!(n.on_pair(7, 2), None);
+        let ready = n.on_swap_result(7, 1, 1);
+        assert_eq!(
+            ready,
+            Some(NodeAction::EndReady {
+                request: 7,
+                frame_z: 0,
+                frame_x: 1
+            })
+        );
+        // Fires once.
+        assert_eq!(n.on_swap_result(7, 0, 0), None);
+    }
+
+    #[test]
+    fn single_hop_end_is_ready_on_delivery() {
+        let mut n = SwapAsapNode::new();
+        n.reserve(
+            3,
+            PathRole::End {
+                edge: 0,
+                expected_swaps: 0,
+            },
+        );
+        assert_eq!(
+            n.on_pair(3, 0),
+            Some(NodeAction::EndReady {
+                request: 3,
+                frame_z: 0,
+                frame_x: 0
+            })
+        );
+    }
+
+    #[test]
+    fn frame_accumulates_by_xor() {
+        let mut n = SwapAsapNode::new();
+        n.reserve(
+            9,
+            PathRole::End {
+                edge: 0,
+                expected_swaps: 3,
+            },
+        );
+        n.on_pair(9, 0);
+        n.on_swap_result(9, 1, 1);
+        n.on_swap_result(9, 1, 0);
+        let done = n.on_swap_result(9, 1, 1);
+        assert_eq!(
+            done,
+            Some(NodeAction::EndReady {
+                request: 9,
+                frame_z: 1,
+                frame_x: 0
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_requests_are_ignored() {
+        let mut n = SwapAsapNode::new();
+        assert_eq!(n.on_pair(99, 0), None);
+        assert_eq!(n.on_swap_result(99, 1, 1), None);
+        n.reserve(1, PathRole::Repeater { left: 0, right: 1 });
+        n.release(1);
+        assert_eq!(n.on_pair(1, 0), None);
+    }
+}

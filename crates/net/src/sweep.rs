@@ -1,0 +1,302 @@
+//! The parallel scenario-sweep driver.
+//!
+//! The ROADMAP's scale goal needs many runs, not one: a sweep fans a
+//! *scenario × seed* matrix across OS threads (`std::thread::scope`,
+//! no external dependencies) and merges every run's statistics into
+//! per-scenario aggregates. Each run is an independent, fully seeded
+//! [`Network`], so the merged report is bit-identical whatever the
+//! thread count — parallelism changes wall-clock time only, never
+//! results.
+
+use crate::network::Network;
+use crate::topology::Topology;
+use qlink_des::{DetRng, SimDuration};
+use qlink_math::stats::RunningStats;
+use qlink_sim::config::{LinkConfig, SchedulerChoice};
+use qlink_sim::workload::WorkloadSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which physical scenario a sweep run instantiates per hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkScenario {
+    /// The 2 m laboratory setup.
+    Lab,
+    /// The 25 km QL2020 metropolitan setup.
+    Ql2020,
+}
+
+/// A data-only description of one sweep scenario: a repeater chain
+/// with homogeneous hops. (Data-only so specs are trivially `Send` +
+/// `Clone` across worker threads.)
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Display name for the report.
+    pub name: String,
+    /// Number of chain nodes (hops = nodes − 1).
+    pub nodes: usize,
+    /// Physical scenario of every hop.
+    pub scenario: LinkScenario,
+    /// Link-layer scheduler at every hop.
+    pub scheduler: SchedulerChoice,
+    /// Classical frame-loss probability on the link-layer channels.
+    pub classical_loss: f64,
+    /// Requested minimum link fidelity.
+    pub fmin: f64,
+    /// Simulated-time budget per end-to-end round.
+    pub max_time: SimDuration,
+    /// End-to-end rounds per run.
+    pub rounds: u32,
+}
+
+impl ScenarioSpec {
+    /// A Lab-scenario chain with sensible defaults: Fmin 0.6, 20
+    /// simulated seconds per round, one round.
+    pub fn lab_chain(name: impl Into<String>, nodes: usize) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            nodes,
+            scenario: LinkScenario::Lab,
+            scheduler: SchedulerChoice::Fcfs,
+            classical_loss: 0.0,
+            fmin: 0.6,
+            max_time: SimDuration::from_secs(20),
+            rounds: 1,
+        }
+    }
+
+    /// Builder: rounds per run.
+    pub fn with_rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds.max(1);
+        self
+    }
+
+    /// Builder: per-round simulated-time budget.
+    pub fn with_max_time(mut self, max_time: SimDuration) -> Self {
+        self.max_time = max_time;
+        self
+    }
+
+    /// Builds the run's topology with per-edge seeds derived from the
+    /// run seed (stable per edge index, independent across edges).
+    fn topology(&self, run_seed: u64) -> Topology {
+        let root = DetRng::new(run_seed);
+        Topology::chain(self.nodes, |i| {
+            let seed = root.substream(&format!("edge/{i}")).seed();
+            let cfg = match self.scenario {
+                LinkScenario::Lab => LinkConfig::lab(WorkloadSpec::none(), seed),
+                LinkScenario::Ql2020 => LinkConfig::ql2020(WorkloadSpec::none(), seed),
+            };
+            cfg.with_scheduler(self.scheduler)
+                .with_classical_loss(self.classical_loss)
+        })
+    }
+}
+
+/// The measurements of one (scenario, seed) run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Index into the sweep's scenario list.
+    pub scenario: usize,
+    /// The run's seed.
+    pub seed: u64,
+    /// Rounds that delivered end-to-end entanglement.
+    pub successes: u32,
+    /// Rounds attempted.
+    pub rounds: u32,
+    /// End-to-end fidelities of successful rounds.
+    pub fidelity: RunningStats,
+    /// End-to-end latencies (seconds) of successful rounds.
+    pub latency_s: RunningStats,
+    /// Total events fired (shared queue + all links).
+    pub events: u64,
+}
+
+/// Merged per-scenario aggregate over all seeds.
+#[derive(Debug, Clone)]
+pub struct ScenarioStats {
+    /// Scenario display name.
+    pub name: String,
+    /// Runs merged (one per seed).
+    pub runs: u32,
+    /// Successful rounds across runs.
+    pub successes: u32,
+    /// Rounds attempted across runs.
+    pub rounds: u32,
+    /// End-to-end fidelity across successful rounds.
+    pub fidelity: RunningStats,
+    /// End-to-end latency (seconds) across successful rounds.
+    pub latency_s: RunningStats,
+    /// Total events fired across runs.
+    pub events: u64,
+}
+
+/// The merged result of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-scenario aggregates, in scenario order.
+    pub scenarios: Vec<ScenarioStats>,
+    /// Worker threads spawned.
+    pub threads_used: usize,
+    /// Per-run records in deterministic (scenario-major) order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl SweepReport {
+    /// Total successful rounds across every scenario.
+    pub fn total_successes(&self) -> u32 {
+        self.scenarios.iter().map(|s| s.successes).sum()
+    }
+}
+
+/// Executes one (scenario, seed) cell of the matrix.
+pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
+    let mut net = Network::new(spec.topology(seed), seed);
+    let dst = spec.nodes - 1;
+    let mut record = RunRecord {
+        scenario: 0,
+        seed,
+        successes: 0,
+        rounds: spec.rounds,
+        fidelity: RunningStats::new(),
+        latency_s: RunningStats::new(),
+        events: 0,
+    };
+    for _ in 0..spec.rounds {
+        let request = net.request_entanglement(0, dst, spec.fmin);
+        match net.run_until_outcome(spec.max_time) {
+            Some(out) => {
+                record.successes += 1;
+                record.fidelity.push(out.end_to_end_fidelity);
+                record.latency_s.push(out.latency.as_secs_f64());
+            }
+            None => net.cancel_request(request),
+        }
+    }
+    record.events = net.events_fired();
+    record
+}
+
+/// Fans `specs × seeds` across up to `threads` OS threads and merges
+/// the results. The merge order is deterministic (scenario-major, then
+/// seed order), so the report is independent of scheduling.
+///
+/// # Panics
+/// Panics if `specs` or `seeds` is empty, or `threads == 0`.
+pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepReport {
+    assert!(!specs.is_empty(), "no scenarios");
+    assert!(!seeds.is_empty(), "no seeds");
+    assert!(threads > 0, "no worker threads");
+
+    let jobs: Vec<(usize, u64)> = specs
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| seeds.iter().map(move |&s| (si, s)))
+        .collect();
+    let workers = threads.min(jobs.len());
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; jobs.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(si, seed)) = jobs.get(job) else {
+                    break;
+                };
+                let mut record = run_one(&specs[si], seed);
+                record.scenario = si;
+                results.lock().expect("worker panicked holding results")[job] = Some(record);
+            });
+        }
+    });
+
+    let runs: Vec<RunRecord> = results
+        .into_inner()
+        .expect("worker panicked holding results")
+        .into_iter()
+        .map(|r| r.expect("job not executed"))
+        .collect();
+
+    let scenarios = specs
+        .iter()
+        .enumerate()
+        .map(|(si, spec)| {
+            let mut stats = ScenarioStats {
+                name: spec.name.clone(),
+                runs: 0,
+                successes: 0,
+                rounds: 0,
+                fidelity: RunningStats::new(),
+                latency_s: RunningStats::new(),
+                events: 0,
+            };
+            for run in runs.iter().filter(|r| r.scenario == si) {
+                stats.runs += 1;
+                stats.successes += run.successes;
+                stats.rounds += run.rounds;
+                stats.fidelity.merge(&run.fidelity);
+                stats.latency_s.merge(&run.latency_s);
+                stats.events += run.events;
+            }
+            stats
+        })
+        .collect();
+
+    SweepReport {
+        scenarios,
+        threads_used: workers,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_specs() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::lab_chain("1-hop", 2),
+            ScenarioSpec::lab_chain("2-hop", 3).with_max_time(SimDuration::from_secs(25)),
+        ]
+    }
+
+    #[test]
+    fn sweep_covers_the_full_matrix() {
+        let specs = tiny_specs();
+        let report = sweep(&specs, &[1, 2], 2);
+        assert_eq!(report.runs.len(), 4);
+        assert_eq!(report.scenarios.len(), 2);
+        assert_eq!(report.threads_used, 2);
+        for s in &report.scenarios {
+            assert_eq!(s.runs, 2);
+        }
+        // Deterministic order: scenario-major, then seed order.
+        let order: Vec<(usize, u64)> = report.runs.iter().map(|r| (r.scenario, r.seed)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 2), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let specs = vec![ScenarioSpec::lab_chain("1-hop", 2)];
+        let seeds = [3, 4, 5];
+        let serial = sweep(&specs, &seeds, 1);
+        let parallel = sweep(&specs, &seeds, 3);
+        assert_eq!(serial.threads_used, 1);
+        assert!(parallel.threads_used >= 2);
+        assert_eq!(serial.total_successes(), parallel.total_successes());
+        for (a, b) in serial.runs.iter().zip(&parallel.runs) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.events, b.events, "seed {}: event counts diverged", a.seed);
+            assert_eq!(a.fidelity.mean().to_bits(), b.fidelity.mean().to_bits());
+            assert_eq!(a.latency_s.mean().to_bits(), b.latency_s.mean().to_bits());
+        }
+    }
+
+    #[test]
+    fn workers_capped_by_job_count() {
+        let specs = vec![ScenarioSpec::lab_chain("1-hop", 2)];
+        let report = sweep(&specs, &[9], 8);
+        assert_eq!(report.threads_used, 1);
+    }
+}

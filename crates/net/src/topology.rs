@@ -1,0 +1,346 @@
+//! Network topologies: nodes, quantum links, classical control channels.
+//!
+//! A [`Topology`] is the static description the network layer operates
+//! on: a node–edge graph in which every edge carries a full link-layer
+//! configuration ([`LinkConfig`] — the complete EGP/MHP/physics stack
+//! is instantiated per edge) plus a classical control channel with a
+//! propagation delay. Chains and stars have dedicated constructors;
+//! arbitrary graphs are built with [`Topology::add_node`] /
+//! [`Topology::connect`].
+
+use qlink_classical::channel::propagation_delay;
+use qlink_des::SimDuration;
+use qlink_sim::config::LinkConfig;
+
+/// One node of the topology.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Display name (`"n3"` by default).
+    pub name: String,
+}
+
+/// One quantum link plus its classical control channel.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Endpoint node index (side A of the underlying link).
+    pub a: usize,
+    /// Endpoint node index (side B of the underlying link).
+    pub b: usize,
+    /// Full link-layer configuration for this edge.
+    pub link: LinkConfig,
+    /// One-way delay of the classical control channel between the two
+    /// nodes (defaults to the fiber propagation delay across the
+    /// edge's full span).
+    pub control_delay: SimDuration,
+}
+
+impl Edge {
+    /// The opposite endpoint of `node` on this edge.
+    ///
+    /// # Panics
+    /// Panics if `node` is not an endpoint.
+    pub fn other(&self, node: usize) -> usize {
+        if node == self.a {
+            self.b
+        } else if node == self.b {
+            self.a
+        } else {
+            panic!("node {node} is not on edge {}-{}", self.a, self.b)
+        }
+    }
+
+    /// This edge's link-layer side index (0 = A, 1 = B) for `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is not an endpoint.
+    pub fn side_of(&self, node: usize) -> usize {
+        if node == self.a {
+            0
+        } else if node == self.b {
+            1
+        } else {
+            panic!("node {node} is not on edge {}-{}", self.a, self.b)
+        }
+    }
+}
+
+/// A multi-node network topology.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A linear chain of `nodes` nodes (`nodes - 1` edges); edge `i`
+    /// connects node `i` to node `i + 1` with the configuration
+    /// returned by `link(i)`.
+    ///
+    /// # Panics
+    /// Panics if `nodes < 2`.
+    pub fn chain(nodes: usize, mut link: impl FnMut(usize) -> LinkConfig) -> Self {
+        assert!(nodes >= 2, "a chain needs at least two nodes");
+        let mut topo = Topology::new();
+        for _ in 0..nodes {
+            topo.add_node();
+        }
+        for i in 0..nodes - 1 {
+            topo.connect(i, i + 1, link(i));
+        }
+        topo
+    }
+
+    /// A star: node 0 is the hub, nodes `1..=leaves` connect to it;
+    /// edge `i` (hub ↔ leaf `i + 1`) uses `link(i)`.
+    ///
+    /// # Panics
+    /// Panics if `leaves == 0`.
+    pub fn star(leaves: usize, mut link: impl FnMut(usize) -> LinkConfig) -> Self {
+        assert!(leaves >= 1, "a star needs at least one leaf");
+        let mut topo = Topology::new();
+        topo.add_node(); // hub
+        for i in 0..leaves {
+            let leaf = topo.add_node();
+            topo.connect(0, leaf, link(i));
+        }
+        topo
+    }
+
+    /// Adds a node; returns its index.
+    pub fn add_node(&mut self) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            name: format!("n{id}"),
+        });
+        id
+    }
+
+    /// Adds a named node; returns its index.
+    pub fn add_named_node(&mut self, name: impl Into<String>) -> usize {
+        let id = self.add_node();
+        self.nodes[id].name = name.into();
+        id
+    }
+
+    /// Connects two nodes with a quantum link; the classical control
+    /// delay defaults to the fiber propagation delay over the edge's
+    /// full span. Returns the edge index.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes, self-loops, or duplicate edges.
+    pub fn connect(&mut self, a: usize, b: usize, link: LinkConfig) -> usize {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "unknown node");
+        assert_ne!(a, b, "self-loop");
+        assert!(
+            self.edge_between(a, b).is_none(),
+            "nodes {a} and {b} already connected"
+        );
+        let km = link.scenario.arm_a_km + link.scenario.arm_b_km;
+        let control_delay = propagation_delay(km);
+        let id = self.edges.len();
+        self.edges.push(Edge {
+            a,
+            b,
+            link,
+            control_delay,
+        });
+        id
+    }
+
+    /// Overrides an edge's classical control delay (builder style).
+    ///
+    /// # Panics
+    /// Panics on an unknown edge.
+    pub fn set_control_delay(&mut self, edge: usize, delay: SimDuration) {
+        self.edges[edge].control_delay = delay;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: usize) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Borrow an edge.
+    pub fn edge(&self, id: usize) -> &Edge {
+        &self.edges[id]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge connecting `a` and `b`, if any.
+    pub fn edge_between(&self, a: usize, b: usize) -> Option<usize> {
+        self.edges
+            .iter()
+            .position(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+    }
+
+    /// Edge indices incident to `node`.
+    pub fn edges_at(&self, node: usize) -> Vec<usize> {
+        (0..self.edges.len())
+            .filter(|&i| self.edges[i].a == node || self.edges[i].b == node)
+            .collect()
+    }
+
+    /// Shortest path (fewest hops) from `src` to `dst` as a node
+    /// sequence, or `None` if disconnected. Ties prefer
+    /// lower-numbered neighbours, so routing is deterministic.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or `src == dst`.
+    pub fn shortest_path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        assert!(
+            src < self.nodes.len() && dst < self.nodes.len(),
+            "unknown node"
+        );
+        assert_ne!(src, dst, "src == dst");
+        let mut prev: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut visited = vec![false; self.nodes.len()];
+        let mut frontier = std::collections::VecDeque::new();
+        visited[src] = true;
+        frontier.push_back(src);
+        while let Some(n) = frontier.pop_front() {
+            if n == dst {
+                break;
+            }
+            let mut neighbours: Vec<usize> = self
+                .edges_at(n)
+                .iter()
+                .map(|&e| self.edges[e].other(n))
+                .collect();
+            neighbours.sort_unstable();
+            for m in neighbours {
+                if !visited[m] {
+                    visited[m] = true;
+                    prev[m] = Some(n);
+                    frontier.push_back(m);
+                }
+            }
+        }
+        if !visited[dst] {
+            return None;
+        }
+        let mut path = vec![dst];
+        while let Some(p) = prev[*path.last().unwrap()] {
+            path.push(p);
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], src);
+        Some(path)
+    }
+
+    /// The edge indices along a node path.
+    ///
+    /// # Panics
+    /// Panics if consecutive path nodes are not connected.
+    pub fn path_edges(&self, path: &[usize]) -> Vec<usize> {
+        path.windows(2)
+            .map(|w| {
+                self.edge_between(w[0], w[1])
+                    .unwrap_or_else(|| panic!("no edge between {} and {}", w[0], w[1]))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlink_sim::workload::WorkloadSpec;
+
+    fn lab(seed: u64) -> LinkConfig {
+        LinkConfig::lab(WorkloadSpec::none(), seed)
+    }
+
+    #[test]
+    fn chain_shape() {
+        let t = Topology::chain(4, |i| lab(i as u64));
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.edge_count(), 3);
+        assert_eq!(t.edge_between(1, 2), Some(1));
+        assert_eq!(t.edge_between(2, 1), Some(1));
+        assert_eq!(t.edge_between(0, 3), None);
+        assert_eq!(t.edges_at(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(3, |i| lab(i as u64));
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.edge_count(), 3);
+        for leaf in 1..4 {
+            assert!(t.edge_between(0, leaf).is_some());
+        }
+        assert_eq!(t.edge_between(1, 2), None);
+    }
+
+    #[test]
+    fn shortest_path_on_chain_and_star() {
+        let chain = Topology::chain(5, |i| lab(i as u64));
+        assert_eq!(chain.shortest_path(0, 4), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(chain.path_edges(&[0, 1, 2, 3, 4]), vec![0, 1, 2, 3]);
+
+        let star = Topology::star(3, |i| lab(i as u64));
+        assert_eq!(star.shortest_path(1, 3), Some(vec![1, 0, 3]));
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_path() {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        let c = t.add_node();
+        t.connect(a, b, lab(1));
+        assert_eq!(t.shortest_path(a, c), None);
+    }
+
+    #[test]
+    fn control_delay_defaults_to_span_propagation() {
+        // Lab arms are metres: sub-µs control delay. QL2020 spans 25 km.
+        let t = Topology::chain(2, |_| lab(7));
+        assert!(t.edge(0).control_delay < SimDuration::from_micros(1));
+        let mut q = Topology::new();
+        q.add_node();
+        q.add_node();
+        q.connect(0, 1, LinkConfig::ql2020(WorkloadSpec::none(), 7));
+        let d = q.edge(0).control_delay.as_micros_f64();
+        assert!((d - 120.9).abs() < 1.0, "25 km ≈ 121 µs, got {d}");
+    }
+
+    #[test]
+    fn edge_orientation_helpers() {
+        let t = Topology::chain(3, |i| lab(i as u64));
+        let e = t.edge(1);
+        assert_eq!(e.other(1), 2);
+        assert_eq!(e.other(2), 1);
+        assert_eq!(e.side_of(1), 0);
+        assert_eq!(e.side_of(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn duplicate_edges_rejected() {
+        let mut t = Topology::new();
+        t.add_node();
+        t.add_node();
+        t.connect(0, 1, lab(1));
+        t.connect(1, 0, lab(2));
+    }
+}

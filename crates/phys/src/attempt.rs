@@ -95,8 +95,9 @@ pub fn arm_state(params: &ScenarioParams, alpha: f64, arm_km: f64) -> QuantumSta
 
     // Photon loss: finite window (eq. 30), collection (eq. 31) and fiber
     // transmission (eq. 33) compose into one amplitude damping.
-    let survival =
-        (1.0 - o.window_damping()) * (1.0 - o.collection_damping()) * (1.0 - o.transmission_damping(arm_km));
+    let survival = (1.0 - o.window_damping())
+        * (1.0 - o.collection_damping())
+        * (1.0 - o.transmission_damping(arm_km));
     s.apply_kraus(&channels::amplitude_damping(1.0 - survival), &[1]);
     s
 }
@@ -289,7 +290,9 @@ pub struct ModelCache {
 impl ModelCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
-        ModelCache { map: HashMap::new() }
+        ModelCache {
+            map: HashMap::new(),
+        }
     }
 
     /// Returns (building if necessary) the model for `(params, α)`.

@@ -249,7 +249,11 @@ impl Midpoint {
 
     /// A photon arrived for its detection window.
     pub fn on_photon(&mut self, photon: PhotonSubmission) {
-        self.windows.entry(photon.cycle).or_default().photons.push(photon);
+        self.windows
+            .entry(photon.cycle)
+            .or_default()
+            .photons
+            .push(photon);
     }
 
     /// A `GEN` control frame arrived.
@@ -272,10 +276,26 @@ impl Midpoint {
         let window = self.windows.remove(&cycle).unwrap_or_default();
         let mut eval = WindowEvaluation::default();
 
-        let gen_a = window.gens.iter().find(|(n, _)| *n == self.node_a).map(|(_, g)| *g);
-        let gen_b = window.gens.iter().find(|(n, _)| *n == self.node_b).map(|(_, g)| *g);
-        let photon_a = window.photons.iter().find(|p| p.node == self.node_a).copied();
-        let photon_b = window.photons.iter().find(|p| p.node == self.node_b).copied();
+        let gen_a = window
+            .gens
+            .iter()
+            .find(|(n, _)| *n == self.node_a)
+            .map(|(_, g)| *g);
+        let gen_b = window
+            .gens
+            .iter()
+            .find(|(n, _)| *n == self.node_b)
+            .map(|(_, g)| *g);
+        let photon_a = window
+            .photons
+            .iter()
+            .find(|p| p.node == self.node_a)
+            .copied();
+        let photon_b = window
+            .photons
+            .iter()
+            .find(|p| p.node == self.node_b)
+            .copied();
 
         match (gen_a, gen_b) {
             (None, None) => eval, // nothing to answer (step 2 has no case for this)

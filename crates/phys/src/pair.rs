@@ -136,7 +136,13 @@ impl PairState {
     /// No-op for halves still in the electron (the electron *is* the
     /// qubit being reset — the pair would simply be destroyed, which
     /// the link layer prevents by scheduling).
-    pub fn apply_generation_dephasing(&mut self, side: Side, nv: &NvParams, alpha: f64, n_attempts: u32) {
+    pub fn apply_generation_dephasing(
+        &mut self,
+        side: Side,
+        nv: &NvParams,
+        alpha: f64,
+        n_attempts: u32,
+    ) {
         if self.kinds[side.index()] != QubitKind::Carbon || n_attempts == 0 {
             return;
         }
@@ -248,9 +254,7 @@ mod tests {
         a.advance_to(t(500), &nv);
         let mut b = fresh_pair();
         b.advance_to(t(500), &nv);
-        assert!(
-            (a.fidelity(BellState::PsiPlus) - b.fidelity(BellState::PsiPlus)).abs() < 1e-9
-        );
+        assert!((a.fidelity(BellState::PsiPlus) - b.fidelity(BellState::PsiPlus)).abs() < 1e-9);
     }
 
     #[test]

@@ -151,8 +151,16 @@ impl DetectorModel {
         let click_given_click = eta;
         let click_given_none = d;
         let p = |ideal_left: bool, ideal_right: bool| -> [f64; 4] {
-            let pl = if ideal_left { click_given_click } else { click_given_none };
-            let pr = if ideal_right { click_given_click } else { click_given_none };
+            let pl = if ideal_left {
+                click_given_click
+            } else {
+                click_given_none
+            };
+            let pr = if ideal_right {
+                click_given_click
+            } else {
+                click_given_none
+            };
             [
                 (1.0 - pl) * (1.0 - pr), // observed None
                 pl * (1.0 - pr),         // observed Left
@@ -367,11 +375,19 @@ mod tests {
         let det = noiseless_detectors();
         let f_perfect = {
             let d = herald_distribution(&joint, &BeamSplitter::new(1.0), &det);
-            bell_fidelity(d.outcome(ClickPattern::Left).1.unwrap(), (0, 1), BellState::PsiPlus)
+            bell_fidelity(
+                d.outcome(ClickPattern::Left).1.unwrap(),
+                (0, 1),
+                BellState::PsiPlus,
+            )
         };
         let f_090 = {
             let d = herald_distribution(&joint, &BeamSplitter::new(0.9), &det);
-            bell_fidelity(d.outcome(ClickPattern::Left).1.unwrap(), (0, 1), BellState::PsiPlus)
+            bell_fidelity(
+                d.outcome(ClickPattern::Left).1.unwrap(),
+                (0, 1),
+                BellState::PsiPlus,
+            )
         };
         assert!(f_090 < f_perfect, "visibility 0.9 should reduce fidelity");
         assert!(f_090 > 0.5, "still useful entanglement");

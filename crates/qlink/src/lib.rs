@@ -33,6 +33,24 @@
 //! assert!(md.fidelity.mean() > 0.6);
 //! ```
 //!
+//! One layer up, the network layer drives every link of a topology on
+//! a single shared event queue and swaps NL pairs into end-to-end
+//! entanglement:
+//!
+//! ```
+//! use qlink::prelude::*;
+//!
+//! // A 3-node repeater chain (two Lab links, SWAP-ASAP at node 1).
+//! let topo = Topology::chain(3, |i| LinkConfig::lab(WorkloadSpec::none(), 100 + i as u64));
+//! let mut net = Network::new(topo, 42);
+//! net.request_entanglement(0, 2, 0.6);
+//! let out = net
+//!     .run_until_outcome(SimDuration::from_secs(30))
+//!     .expect("swap-asap delivers");
+//! assert_eq!(out.swaps, 1);
+//! assert!(out.end_to_end_fidelity > 0.25);
+//! ```
+//!
 //! ## Crate map
 //!
 //! | module | contents |
@@ -44,26 +62,37 @@
 //! | [`classical`] | fiber delay/loss models, 1000BASE-ZX link budget |
 //! | [`phys`] | NV hardware, heralding station, attempt model, MHP |
 //! | [`egp`] | the link layer: distributed queue, QMM, FEU, schedulers |
-//! | [`sim`] | scenario assembly, workloads, metrics |
+//! | [`sim`] | single-link scenario assembly, workloads, metrics |
+//! | [`net`] | the network layer: topologies, one shared event queue over all links, SWAP-ASAP repeater control, parallel scenario sweeps |
 
 pub use qlink_classical as classical;
 pub use qlink_des as des;
 pub use qlink_egp as egp;
 pub use qlink_math as math;
+pub use qlink_net as net;
 pub use qlink_phys as phys;
 pub use qlink_quantum as quantum;
 pub use qlink_sim as sim;
 pub use qlink_wire as wire;
 
 /// The most commonly used types, for glob import.
+///
+/// `RepeaterChain` here is the network-layer one — every hop on one
+/// shared event queue under SWAP-ASAP control. The deprecated
+/// independent-queue version survives as
+/// [`sim::chain::RepeaterChain`](crate::sim::chain).
 pub mod prelude {
     pub use crate::des::{DetRng, SimDuration, SimTime};
+    pub use crate::net::chain::RepeaterChain;
+    pub use crate::net::network::{EndToEndOutcome, Network};
+    pub use crate::net::sweep::{sweep, ScenarioSpec, SweepReport};
+    pub use crate::net::topology::Topology;
     pub use crate::phys::params::{Scenario, ScenarioParams};
     pub use crate::quantum::bell::{bell_fidelity, BellState, Qber};
     pub use crate::quantum::{Basis, QuantumState};
-    pub use crate::sim::chain::{ChainOutcome, RepeaterChain};
+    pub use crate::sim::chain::ChainOutcome;
     pub use crate::sim::config::{LinkConfig, RequestKind, SchedulerChoice, UsagePattern};
-    pub use crate::sim::link::LinkSimulation;
+    pub use crate::sim::link::{Delivery, LinkSimulation};
     pub use crate::sim::metrics::LinkMetrics;
     pub use crate::sim::workload::{GeneratedRequest, KindLoad, OriginPolicy, WorkloadSpec};
 }
@@ -79,5 +108,9 @@ mod tests {
         let pair = BellState::PhiPlus.state();
         assert!(bell_fidelity(&pair, (0, 1), BellState::PhiPlus) > 0.999);
         let _ = WorkloadSpec::none();
+        // Network layer reachable through the facade.
+        let topo = Topology::chain(2, |_| LinkConfig::lab(WorkloadSpec::none(), 1));
+        assert_eq!(topo.edge_count(), 1);
+        let _ = ScenarioSpec::lab_chain("smoke", 2);
     }
 }

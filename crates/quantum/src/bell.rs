@@ -157,6 +157,14 @@ pub fn werner_state(bell: BellState, p: f64) -> QuantumState {
     QuantumState::from_density(rho).expect("werner state is physical")
 }
 
+/// The Werner state whose fidelity with `|B⟩` is `f`, inverting
+/// `F = p + (1−p)/4` to `p = (4F−1)/3` (clamped to a physical `p`).
+/// This is the standard one-parameter summary a network layer keeps
+/// per link pair when only a measured fidelity is known.
+pub fn werner_from_fidelity(bell: BellState, f: f64) -> QuantumState {
+    werner_state(bell, ((4.0 * f - 1.0) / 3.0).clamp(0.0, 1.0))
+}
+
 fn sorted_pair((a, b): (usize, usize)) -> (usize, usize) {
     if a <= b {
         (a, b)
@@ -276,12 +284,7 @@ mod tests {
 
         // Φ− changes sign under swap of its qubits? It does not; use a
         // non-maximally-entangled ket a|01⟩ + b|10⟩ to verify ordering.
-        let ket = CMatrix::col_vector(&[
-            ZERO,
-            Complex::real(0.8),
-            Complex::real(0.6),
-            ZERO,
-        ]);
+        let ket = CMatrix::col_vector(&[ZERO, Complex::real(0.8), Complex::real(0.6), ZERO]);
         let s = QuantumState::from_ket(&ket);
         let f_ab = bell_fidelity(&s, (0, 1), BellState::PsiPlus);
         let f_ba = bell_fidelity(&s, (1, 0), BellState::PsiPlus);

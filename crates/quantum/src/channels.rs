@@ -53,7 +53,10 @@ pub fn depolarizing(p: f64) -> Vec<CMatrix> {
 /// this models every loss mechanism: finite detection windows (eq. 30),
 /// collection losses (eq. 31) and fiber transmission (eq. 33).
 pub fn amplitude_damping(gamma: f64) -> Vec<CMatrix> {
-    assert!((0.0..=1.0).contains(&gamma), "amplitude_damping γ = {gamma}");
+    assert!(
+        (0.0..=1.0).contains(&gamma),
+        "amplitude_damping γ = {gamma}"
+    );
     let mut k0 = CMatrix::identity(2);
     k0[(1, 1)] = Complex::real((1.0 - gamma).sqrt());
     let mut k1 = CMatrix::zeros(2, 2);
@@ -74,14 +77,27 @@ pub fn amplitude_damping(gamma: f64) -> Vec<CMatrix> {
 pub fn t1t2_decay(t: f64, t1: f64, t2: f64) -> Vec<CMatrix> {
     assert!(t >= 0.0, "negative duration {t}");
     assert!(t1 > 0.0 && t2 > 0.0, "time constants must be positive");
-    assert!(t2 <= 2.0 * t1 + 1e-12, "T2 = {t2} exceeds 2·T1 = {}", 2.0 * t1);
-    let gamma = if t1.is_infinite() { 0.0 } else { 1.0 - (-t / t1).exp() };
+    assert!(
+        t2 <= 2.0 * t1 + 1e-12,
+        "T2 = {t2} exceeds 2·T1 = {}",
+        2.0 * t1
+    );
+    let gamma = if t1.is_infinite() {
+        0.0
+    } else {
+        1.0 - (-t / t1).exp()
+    };
     // Residual dephasing beyond what damping already causes:
     // total off-diagonal decay e^{-t/T2} = e^{-t/(2T1)} · (1 − 2p).
     let residual = if t2.is_infinite() && t1.is_infinite() {
         1.0
     } else {
-        let rate = 1.0 / t2 - if t1.is_infinite() { 0.0 } else { 1.0 / (2.0 * t1) };
+        let rate = 1.0 / t2
+            - if t1.is_infinite() {
+                0.0
+            } else {
+                1.0 / (2.0 * t1)
+            };
         (-t * rate.max(0.0)).exp()
     };
     let p = ((1.0 - residual) / 2.0).clamp(0.0, 0.5);
@@ -130,8 +146,14 @@ mod tests {
             assert!(is_trace_preserving(&depolarizing(p), 1e-12));
             assert!(is_trace_preserving(&amplitude_damping(p), 1e-12));
         }
-        assert!(is_trace_preserving(&t1t2_decay(1e-3, 2.86e-3, 1.0e-3), 1e-12));
-        assert!(is_trace_preserving(&t1t2_decay(5.0, f64::INFINITY, 3.5e-3), 1e-12));
+        assert!(is_trace_preserving(
+            &t1t2_decay(1e-3, 2.86e-3, 1.0e-3),
+            1e-12
+        ));
+        assert!(is_trace_preserving(
+            &t1t2_decay(5.0, f64::INFINITY, 3.5e-3),
+            1e-12
+        ));
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub fn z() -> CMatrix {
 
 /// Hadamard.
 pub fn h() -> CMatrix {
-    CMatrix::from_real(2, 2, &[FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2])
+    CMatrix::from_real(
+        2,
+        2,
+        &[FRAC_1_SQRT_2, FRAC_1_SQRT_2, FRAC_1_SQRT_2, -FRAC_1_SQRT_2],
+    )
 }
 
 /// Phase gate `S = diag(1, i)`.

@@ -148,8 +148,7 @@ mod tests {
         // The (ent_a, ent_b) pair is no longer entangled: ent_a is left in
         // a computational-basis state after measurement.
         let ent_a = joint.partial_trace(&[1]);
-        let purity_diag =
-            ent_a.density()[(0, 0)].re.max(ent_a.density()[(1, 1)].re);
+        let purity_diag = ent_a.density()[(0, 0)].re.max(ent_a.density()[(1, 1)].re);
         assert!(purity_diag > 1.0 - 1e-9);
     }
 
@@ -171,7 +170,9 @@ mod tests {
         let mut r = rng(5);
         for trial in 0..10 {
             // Register: [a, b1, b2, c] with (a,b1) = Φ+ and (b2,c) = Φ+.
-            let mut joint = BellState::PhiPlus.state().tensor(&BellState::PhiPlus.state());
+            let mut joint = BellState::PhiPlus
+                .state()
+                .tensor(&BellState::PhiPlus.state());
             entanglement_swap(&mut joint, 1, 2, 3, &mut r);
             let f = bell_fidelity(&joint, (0, 3), BellState::PhiPlus);
             assert!(f > 1.0 - 1e-9, "trial {trial}: swapped fidelity {f}");
@@ -184,8 +185,8 @@ mod tests {
         let mut r = rng(9);
         // Two Werner pairs with p = 0.9 (F = 0.925): the swapped pair has
         // lower fidelity than either input.
-        let mut joint = werner_state(BellState::PhiPlus, 0.9)
-            .tensor(&werner_state(BellState::PhiPlus, 0.9));
+        let mut joint =
+            werner_state(BellState::PhiPlus, 0.9).tensor(&werner_state(BellState::PhiPlus, 0.9));
         entanglement_swap(&mut joint, 1, 2, 3, &mut r);
         let f = bell_fidelity(&joint, (0, 3), BellState::PhiPlus);
         assert!(f < 0.925 && f > 0.5, "swapped Werner fidelity {f}");
@@ -193,10 +194,22 @@ mod tests {
 
     #[test]
     fn bsm_outcome_maps_to_bell_states() {
-        assert_eq!(BsmOutcome { z_bit: 0, x_bit: 0 }.bell_state(), BellState::PhiPlus);
-        assert_eq!(BsmOutcome { z_bit: 1, x_bit: 0 }.bell_state(), BellState::PhiMinus);
-        assert_eq!(BsmOutcome { z_bit: 0, x_bit: 1 }.bell_state(), BellState::PsiPlus);
-        assert_eq!(BsmOutcome { z_bit: 1, x_bit: 1 }.bell_state(), BellState::PsiMinus);
+        assert_eq!(
+            BsmOutcome { z_bit: 0, x_bit: 0 }.bell_state(),
+            BellState::PhiPlus
+        );
+        assert_eq!(
+            BsmOutcome { z_bit: 1, x_bit: 0 }.bell_state(),
+            BellState::PhiMinus
+        );
+        assert_eq!(
+            BsmOutcome { z_bit: 0, x_bit: 1 }.bell_state(),
+            BellState::PsiPlus
+        );
+        assert_eq!(
+            BsmOutcome { z_bit: 1, x_bit: 1 }.bell_state(),
+            BellState::PsiMinus
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ impl QuantumState {
         let dim = ket.rows();
         assert!(dim.is_power_of_two() && dim >= 2, "bad ket dimension {dim}");
         let norm: f64 = ket.as_slice().iter().map(|z| z.norm_sqr()).sum();
-        assert!((norm - 1.0).abs() < 1e-9, "ket not normalised: |ψ|² = {norm}");
+        assert!(
+            (norm - 1.0).abs() < 1e-9,
+            "ket not normalised: |ψ|² = {norm}"
+        );
         QuantumState {
             n: dim.trailing_zeros() as usize,
             rho: ket * &ket.adjoint(),
@@ -178,9 +181,16 @@ impl QuantumState {
     /// dimension does not match `targets.len()`.
     pub fn expand_operator(&self, op: &CMatrix, targets: &[usize]) -> CMatrix {
         let k = targets.len();
-        assert!(k >= 1 && op.rows() == (1 << k) && op.cols() == (1 << k), "operator/target mismatch");
+        assert!(
+            k >= 1 && op.rows() == (1 << k) && op.cols() == (1 << k),
+            "operator/target mismatch"
+        );
         for (i, &t) in targets.iter().enumerate() {
-            assert!(t < self.n, "target {t} out of range for {}-qubit register", self.n);
+            assert!(
+                t < self.n,
+                "target {t} out of range for {}-qubit register",
+                self.n
+            );
             assert!(!targets[..i].contains(&t), "duplicate target {t}");
         }
         let dim = self.dim();
@@ -258,7 +268,10 @@ impl QuantumState {
         targets: &[usize],
         rng: &mut R,
     ) -> usize {
-        let fulls: Vec<CMatrix> = kraus.iter().map(|k| self.expand_operator(k, targets)).collect();
+        let fulls: Vec<CMatrix> = kraus
+            .iter()
+            .map(|k| self.expand_operator(k, targets))
+            .collect();
         let probs: Vec<f64> = fulls
             .iter()
             .map(|f| (&(&f.adjoint() * f) * &self.rho).trace().re.max(0.0))
@@ -284,7 +297,12 @@ impl QuantumState {
     }
 
     /// Projectively measures one qubit in the given basis; returns 0 or 1.
-    pub fn measure_qubit<R: Rng + ?Sized>(&mut self, qubit: usize, basis: Basis, rng: &mut R) -> u8 {
+    pub fn measure_qubit<R: Rng + ?Sized>(
+        &mut self,
+        qubit: usize,
+        basis: Basis,
+        rng: &mut R,
+    ) -> u8 {
         let (p0, p1) = basis.projectors();
         self.measure_kraus(&[p0, p1], &[qubit], rng) as u8
     }
@@ -305,7 +323,10 @@ impl QuantumState {
     pub fn partial_trace(&self, keep: &[usize]) -> QuantumState {
         assert!(!keep.is_empty(), "must keep at least one qubit");
         for w in keep.windows(2) {
-            assert!(w[0] < w[1], "keep list must be sorted ascending, no duplicates");
+            assert!(
+                w[0] < w[1],
+                "keep list must be sorted ascending, no duplicates"
+            );
         }
         assert!(*keep.last().unwrap() < self.n, "keep index out of range");
         let k = keep.len();
@@ -450,7 +471,10 @@ mod tests {
                 zeros += 1;
             }
         }
-        assert!((400..=600).contains(&zeros), "got {zeros} zeros out of 1000");
+        assert!(
+            (400..=600).contains(&zeros),
+            "got {zeros} zeros out of 1000"
+        );
 
         let mut s = QuantumState::ground(1);
         s.apply_unitary(&gates::h(), &[0]);

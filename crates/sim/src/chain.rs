@@ -1,24 +1,22 @@
 //! A minimal network layer: repeater chains over link-layer services.
 //!
-//! The paper's conclusion points at the next step up the stack: "a
-//! robust network layer control protocol" that builds long-distance
-//! entanglement by swapping link pairs (Figure 1b, §3.3 NL use case,
-//! §3.4). This module implements the simplest such consumer, per the
-//! paper's sketch: reserve a path, produce NL pairs on every link
-//! *concurrently* (to fight memory lifetimes), then swap at the
-//! intermediate nodes and apply the Pauli corrections.
-//!
-//! Each hop runs a full [`crate::link::LinkSimulation`] — the complete
-//! EGP/MHP/physics stack — and the chain composes their delivered
-//! pairs. Swap quality uses the delivered pairs' measured fidelities
-//! (as Werner states, the standard one-parameter model a network layer
-//! would track per link).
+//! **Deprecated shim.** This module predates the real network layer in
+//! `qlink-net`: here every hop runs as an *independent*
+//! [`crate::link::LinkSimulation`] with its own event queue, advanced
+//! in coarse lock-step slices — there is no shared clock, no
+//! inter-node messaging and no topology. Use
+//! `qlink_net::chain::RepeaterChain` (or `qlink_net::Network`
+//! directly), which drives all links of a topology on one shared
+//! discrete-event queue under SWAP-ASAP control. Only the pure
+//! fidelity-composition helper [`swap_chain`] and the
+//! [`ChainOutcome`] record remain first-class: `qlink-net` reuses
+//! both.
 
 use crate::config::{LinkConfig, RequestKind};
 use crate::link::LinkSimulation;
 use crate::workload::GeneratedRequest;
 use qlink_des::{DetRng, SimDuration};
-use qlink_quantum::bell::{bell_fidelity, werner_state, BellState};
+use qlink_quantum::bell::{bell_fidelity, werner_from_fidelity, BellState};
 use qlink_quantum::ops::entanglement_swap;
 use qlink_quantum::QuantumState;
 
@@ -35,11 +33,16 @@ pub struct ChainOutcome {
 }
 
 /// A chain of independently simulated links joined by swapping.
+#[deprecated(
+    since = "0.1.0",
+    note = "use qlink_net::chain::RepeaterChain: all links on one shared event queue under SWAP-ASAP control"
+)]
 pub struct RepeaterChain {
     links: Vec<LinkSimulation>,
     rng: DetRng,
 }
 
+#[allow(deprecated)]
 impl RepeaterChain {
     /// Builds a chain from per-hop link configurations (N configs =
     /// N+1 nodes). Each hop gets an independent seed derived from its
@@ -66,7 +69,11 @@ impl RepeaterChain {
     /// `max_time` passes), then swaps at the intermediate nodes.
     ///
     /// Returns `None` if any hop failed to deliver within `max_time`.
-    pub fn generate_end_to_end(&mut self, fmin: f64, max_time: SimDuration) -> Option<ChainOutcome> {
+    pub fn generate_end_to_end(
+        &mut self,
+        fmin: f64,
+        max_time: SimDuration,
+    ) -> Option<ChainOutcome> {
         // Reserve the path: one NL request per hop (priority 1,
         // purpose-tagged — §4.1.1's NL path reservation).
         for link in &mut self.links {
@@ -83,7 +90,9 @@ impl RepeaterChain {
         }
         // Run all hops concurrently in slices until every link has a
         // pair (the network layer's "produce pairwise entanglement
-        // concurrently ... with minimal delay").
+        // concurrently ... with minimal delay"). Slices never overrun
+        // `max_time`: a delivery that would only happen beyond the
+        // deadline must not count (the request has expired).
         let slice = SimDuration::from_millis(500);
         let mut elapsed = SimDuration::ZERO;
         let baseline: Vec<u64> = self
@@ -93,26 +102,27 @@ impl RepeaterChain {
             .collect();
         let mut generation_time = SimDuration::ZERO;
         loop {
+            if elapsed >= max_time {
+                return None;
+            }
+            let step = slice.min(max_time - elapsed);
             let mut all_done = true;
             for (i, link) in self.links.iter_mut().enumerate() {
                 let done = link.metrics.kind_total(RequestKind::Nl).pairs_delivered > baseline[i];
                 if !done {
-                    link.run_for(slice);
+                    link.run_for(step);
                     let now_done =
                         link.metrics.kind_total(RequestKind::Nl).pairs_delivered > baseline[i];
                     if now_done {
-                        generation_time = generation_time.max(elapsed + slice);
+                        generation_time = generation_time.max(elapsed + step);
                     } else {
                         all_done = false;
                     }
                 }
             }
+            elapsed += step;
             if all_done {
                 break;
-            }
-            elapsed += slice;
-            if elapsed >= max_time {
-                return None;
             }
         }
 
@@ -135,7 +145,7 @@ impl RepeaterChain {
 /// sequential entanglement swapping of Werner pairs.
 pub fn swap_chain(link_fidelities: &[f64], rng: &mut DetRng) -> f64 {
     assert!(!link_fidelities.is_empty(), "empty chain");
-    let as_werner = |f: f64| werner_state(BellState::PhiPlus, ((4.0 * f - 1.0) / 3.0).clamp(0.0, 1.0));
+    let as_werner = |f: f64| werner_from_fidelity(BellState::PhiPlus, f);
     let mut current: QuantumState = as_werner(link_fidelities[0]);
     for &f in &link_fidelities[1..] {
         // Register: [a, b1, b2, c] — current pair ⊗ next hop's pair.
@@ -149,6 +159,7 @@ pub fn swap_chain(link_fidelities: &[f64], rng: &mut DetRng) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
     use super::*;
     use crate::workload::WorkloadSpec;
 
@@ -203,7 +214,12 @@ mod tests {
             assert!(*f > 0.55, "link fidelity {f}");
         }
         assert!(
-            out.end_to_end_fidelity < *out.link_fidelities.iter().min_by(|a, b| a.partial_cmp(b).unwrap()).unwrap(),
+            out.end_to_end_fidelity
+                < *out
+                    .link_fidelities
+                    .iter()
+                    .min_by(|a, b| a.partial_cmp(b).unwrap())
+                    .unwrap(),
             "swap must cost fidelity"
         );
         assert!(out.end_to_end_fidelity > 0.4);

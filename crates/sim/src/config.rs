@@ -61,7 +61,9 @@ impl SchedulerChoice {
     pub fn policy(self) -> SchedulerPolicy {
         match self {
             SchedulerChoice::Fcfs => SchedulerPolicy::Fcfs,
-            SchedulerChoice::LowerWfq | SchedulerChoice::HigherWfq => SchedulerPolicy::nl_strict_wfq(),
+            SchedulerChoice::LowerWfq | SchedulerChoice::HigherWfq => {
+                SchedulerPolicy::nl_strict_wfq()
+            }
         }
     }
 
@@ -268,8 +270,14 @@ mod tests {
 
     #[test]
     fn wfq_weights() {
-        assert_eq!(SchedulerChoice::HigherWfq.wfq_weights(), vec![(1, 10.0), (2, 1.0)]);
-        assert_eq!(SchedulerChoice::LowerWfq.wfq_weights(), vec![(1, 2.0), (2, 1.0)]);
+        assert_eq!(
+            SchedulerChoice::HigherWfq.wfq_weights(),
+            vec![(1, 10.0), (2, 1.0)]
+        );
+        assert_eq!(
+            SchedulerChoice::LowerWfq.wfq_weights(),
+            vec![(1, 2.0), (2, 1.0)]
+        );
         assert!(SchedulerChoice::Fcfs.wfq_weights().is_empty());
     }
 

@@ -11,10 +11,14 @@
 //! * [`workload`] — random CREATE arrivals with probability
 //!   `f·psucc/(E·k)` per MHP cycle (§6), kinds NL/CK/MD, origins
 //!   A/B/random;
-//! * [`link`] — the event-driven simulation of one link;
+//! * [`link`] — the event-driven simulation of one link, with a
+//!   steppable embedding API (`advance_to` / `drain_deliveries`) so a
+//!   network layer can interleave many links on one shared clock;
 //! * [`metrics`] — throughput, request/pair/scaled latency, fidelity,
 //!   QBER, queue lengths, error counts, fairness splits and the time
-//!   series of the appendix figures.
+//!   series of the appendix figures;
+//! * [`chain`] — **deprecated** independent-queue repeater chains;
+//!   superseded by the shared-clock network layer in `qlink-net`.
 
 pub mod chain;
 pub mod config;
@@ -22,8 +26,9 @@ pub mod link;
 pub mod metrics;
 pub mod workload;
 
+#[allow(deprecated)]
 pub use chain::RepeaterChain;
 pub use config::{LinkConfig, RequestKind, SchedulerChoice, UsagePattern};
-pub use link::LinkSimulation;
+pub use link::{Delivery, LinkSimulation};
 pub use metrics::LinkMetrics;
 pub use workload::WorkloadSpec;

@@ -63,6 +63,30 @@ struct RequestTracking {
     pairs_seen: u16,
 }
 
+/// One pair delivered by the link layer, surfaced to an embedding
+/// (network) layer via [`LinkSimulation::drain_deliveries`] once
+/// recording is enabled with [`LinkSimulation::capture_deliveries`].
+///
+/// The link records the same information into its own
+/// [`LinkMetrics`]; this record exists so a higher layer driving many
+/// links on a shared clock can react to individual deliveries at the
+/// simulated instant they happen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Request kind the pair was produced for.
+    pub kind: RequestKind,
+    /// Originating node (0 = A, 1 = B).
+    pub origin: usize,
+    /// The CREATE id returned by [`LinkSimulation::submit`].
+    pub create_id: u16,
+    /// Delivered fidelity (K-type: storage-decayed; M-type: heralded).
+    pub fidelity: f64,
+    /// Simulated delivery instant.
+    pub at: SimTime,
+    /// `true` when this pair completed its request.
+    pub request_complete: bool,
+}
+
 /// A fully wired two-node link simulation.
 pub struct LinkSimulation {
     cfg: LinkConfig,
@@ -81,6 +105,7 @@ pub struct LinkSimulation {
     rng_chan: DetRng,
     workload: WorkloadGenerator,
     tracking: HashMap<(usize, u16), RequestTracking>,
+    deliveries: Option<Vec<Delivery>>,
     /// Metrics collected so far.
     pub metrics: LinkMetrics,
     next_cycle_scheduled: u64,
@@ -94,7 +119,8 @@ impl LinkSimulation {
 
         let shared = SharedRandomness::new(cfg.seed ^ 0x7e57_0000, cfg.test_round_probability);
         let mk_egp = |node, peer, role| {
-            let mut e = EgpConfig::for_scenario(node, peer, role, scenario.clone(), cfg.scheduler.policy());
+            let mut e =
+                EgpConfig::for_scenario(node, peer, role, scenario.clone(), cfg.scheduler.policy());
             e.storage_qubits = cfg.storage_qubits;
             e.shared_random = shared;
             for (q, w) in cfg.scheduler.wfq_weights() {
@@ -148,6 +174,7 @@ impl LinkSimulation {
             rng_chan: root.substream("channels"),
             workload,
             tracking: HashMap::new(),
+            deliveries: None,
             metrics: LinkMetrics::new(),
             next_cycle_scheduled: 0,
             cfg,
@@ -195,10 +222,60 @@ impl LinkSimulation {
     /// Runs the simulation for `duration` of simulated time.
     pub fn run_for(&mut self, duration: SimDuration) {
         let horizon = self.queue.now() + duration;
-        while let Some((t, ev)) = self.queue.pop_until(horizon) {
-            self.handle(t, ev);
-        }
+        self.advance_to(horizon);
         self.metrics.elapsed += duration;
+    }
+
+    // ---- steppable embedding API ------------------------------------
+    //
+    // A network layer driving N links on one shared clock needs finer
+    // control than `run_for`: it must know when each link's next event
+    // fires, advance a link exactly to a global instant, and observe
+    // the pairs delivered along the way. These three methods are that
+    // contract; `run_for` is now a thin wrapper over `advance_to`.
+
+    /// Firing time of this link's next internal event (`None` only for
+    /// a drained queue, which cannot happen while the MHP cycle clock
+    /// keeps self-scheduling).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Processes every pending event up to and including `t`, then
+    /// parks the link's clock exactly at `t`.
+    ///
+    /// Does *not* advance [`LinkMetrics::elapsed`] — an embedding layer
+    /// accounts elapsed time once, globally.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the link's current time (the DES never
+    /// rewinds).
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.queue.now(), "advance_to into the past");
+        while let Some((et, ev)) = self.queue.pop_until(t) {
+            self.handle(et, ev);
+        }
+    }
+
+    /// Starts recording per-pair [`Delivery`] records for
+    /// [`LinkSimulation::drain_deliveries`]. Off by default so
+    /// standalone links (benches, examples, long workload runs) don't
+    /// accumulate an unbounded buffer nobody reads; an embedding layer
+    /// switches it on and drains at every wake.
+    pub fn capture_deliveries(&mut self) {
+        if self.deliveries.is_none() {
+            self.deliveries = Some(Vec::new());
+        }
+    }
+
+    /// Takes every pair delivered since the last drain, in delivery
+    /// order (empty unless [`LinkSimulation::capture_deliveries`] was
+    /// called).
+    pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
+        self.deliveries
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     fn current_cycle(&self) -> u64 {
@@ -291,7 +368,8 @@ impl LinkSimulation {
 
             let prep = self.cfg.scenario.emission_prep;
             let photon_at = now + prep + self.arm_delay(i);
-            self.queue.schedule_at(photon_at, Event::PhotonArrive(actions.photon));
+            self.queue
+                .schedule_at(photon_at, Event::PhotonArrive(actions.photon));
 
             let bytes = Frame::Gen(actions.gen).encode();
             if let Transmission::Delivered { delay, bytes } =
@@ -316,7 +394,9 @@ impl LinkSimulation {
 
         // Periodic housekeeping.
         if c.is_multiple_of(256) {
-            self.metrics.queue_length.push(self.egps[0].queue_len() as f64);
+            self.metrics
+                .queue_length
+                .push(self.egps[0].queue_len() as f64);
         }
         if c.is_multiple_of(16_384) && c > 0 {
             let horizon = c.saturating_sub(200_000);
@@ -333,7 +413,10 @@ impl LinkSimulation {
         if let Some(h) = &eval.herald {
             let emission = self.cycle_start(c) + self.cfg.scenario.emission_prep;
             let entry = LedgerEntry {
-                pair: h.measured_bits.is_none().then(|| PairState::new(h.state.clone(), emission)),
+                pair: h
+                    .measured_bits
+                    .is_none()
+                    .then(|| PairState::new(h.state.clone(), emission)),
                 outcome: h.outcome,
                 bits: h.measured_bits,
                 heralded_fidelity: model.heralded_fidelity(h.outcome),
@@ -476,7 +559,11 @@ impl LinkSimulation {
     fn keep_pair_fidelity(&mut self, herald_cycle: u64) -> f64 {
         let now = self.queue.now();
         let nv = self.cfg.scenario.nv.clone();
-        match self.ledger.get_mut(&herald_cycle).and_then(|e| e.pair.as_mut()) {
+        match self
+            .ledger
+            .get_mut(&herald_cycle)
+            .and_then(|e| e.pair.as_mut())
+        {
             Some(pair) => {
                 if now > pair.last_update() {
                     pair.advance_to(now, &nv);
@@ -509,7 +596,18 @@ impl LinkSimulation {
         let latency = now.saturating_since(t.submitted);
         let complete = t.pairs_seen >= t.pairs;
         let pairs = t.pairs;
-        self.metrics.record_pair(kind, origin, fidelity, latency, now);
+        self.metrics
+            .record_pair(kind, origin, fidelity, latency, now);
+        if let Some(deliveries) = &mut self.deliveries {
+            deliveries.push(Delivery {
+                kind,
+                origin,
+                create_id,
+                fidelity,
+                at: now,
+                request_complete: complete,
+            });
+        }
         if complete {
             self.metrics
                 .record_request_complete(kind, origin, pairs, latency, now);
@@ -535,7 +633,10 @@ impl LinkSimulation {
     }
 
     fn max_arm_delay(&self) -> SimDuration {
-        self.cfg.scenario.arm_a_delay().max(self.cfg.scenario.arm_b_delay())
+        self.cfg
+            .scenario
+            .arm_a_delay()
+            .max(self.cfg.scenario.arm_b_delay())
     }
 
     fn reply_timeout_cycles(&self) -> u64 {
@@ -697,8 +798,7 @@ mod tests {
     fn scheduler_choice_changes_behaviour() {
         let spec = WorkloadSpec::from_pattern(&crate::config::UsagePattern::uniform(), 0.6);
         let run = |sched| {
-            let mut sim =
-                LinkSimulation::new(LinkConfig::lab(spec, 23).with_scheduler(sched));
+            let mut sim = LinkSimulation::new(LinkConfig::lab(spec, 23).with_scheduler(sched));
             sim.run_for(SimDuration::from_secs(4));
             sim.metrics.total_pairs()
         };

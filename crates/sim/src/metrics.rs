@@ -221,8 +221,18 @@ mod tests {
         m.record_pair(RequestKind::Ck, 0, 0.7, SimDuration::from_millis(5), t(1));
         m.record_pair(RequestKind::Ck, 0, 0.7, SimDuration::from_millis(5), t(1));
         m.record_pair(RequestKind::Ck, 1, 0.7, SimDuration::from_millis(5), t(1));
-        assert_eq!(m.kind_at_origin(RequestKind::Ck, 0).unwrap().pairs_delivered, 2);
-        assert_eq!(m.kind_at_origin(RequestKind::Ck, 1).unwrap().pairs_delivered, 1);
+        assert_eq!(
+            m.kind_at_origin(RequestKind::Ck, 0)
+                .unwrap()
+                .pairs_delivered,
+            2
+        );
+        assert_eq!(
+            m.kind_at_origin(RequestKind::Ck, 1)
+                .unwrap()
+                .pairs_delivered,
+            1
+        );
     }
 
     #[test]

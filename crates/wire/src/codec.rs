@@ -33,7 +33,10 @@ impl fmt::Display for WireError {
             }
             WireError::BadValue(what) => write!(f, "bad value for field {what}"),
             WireError::BadCrc { computed, stored } => {
-                write!(f, "CRC mismatch: computed {computed:#010x}, stored {stored:#010x}")
+                write!(
+                    f,
+                    "CRC mismatch: computed {computed:#010x}, stored {stored:#010x}"
+                )
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
         }
@@ -194,10 +197,7 @@ mod tests {
     fn truncation_detected() {
         let bytes = [1u8, 2];
         let mut r = Reader::new(&bytes);
-        assert_eq!(
-            r.get_u32(),
-            Err(WireError::Truncated { needed: 4, got: 2 })
-        );
+        assert_eq!(r.get_u32(), Err(WireError::Truncated { needed: 4, got: 2 }));
     }
 
     #[test]

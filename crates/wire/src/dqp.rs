@@ -193,7 +193,10 @@ mod tests {
         // priority byte offset: 1 (FT) + 1 (CSEQ) + 3 (aID) + 8 + 8 + 2 + 2 + 2 + 2 = 29.
         bytes[29] = 16;
         let mut r = Reader::new(&bytes);
-        assert_eq!(DqpMessage::decode(&mut r), Err(WireError::BadValue("priority")));
+        assert_eq!(
+            DqpMessage::decode(&mut r),
+            Err(WireError::BadValue("priority"))
+        );
     }
 
     #[test]
@@ -205,7 +208,10 @@ mod tests {
             *b = 0xFF; // an NaN bit pattern
         }
         let mut r = Reader::new(&bytes);
-        assert!(matches!(DqpMessage::decode(&mut r), Err(WireError::BadValue(_))));
+        assert!(matches!(
+            DqpMessage::decode(&mut r),
+            Err(WireError::BadValue(_))
+        ));
     }
 
     #[test]

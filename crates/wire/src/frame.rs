@@ -8,7 +8,9 @@
 use crate::codec::{Reader, Writer};
 use crate::crc::crc32;
 use crate::dqp::DqpMessage;
-use crate::egp::{CreateMsg, ErrMsg, ExpireAckMsg, ExpireMsg, MemoryAdvertMsg, OkKeepMsg, OkMeasureMsg};
+use crate::egp::{
+    CreateMsg, ErrMsg, ExpireAckMsg, ExpireMsg, MemoryAdvertMsg, OkKeepMsg, OkMeasureMsg,
+};
 use crate::mhp::{GenMsg, ReplyMsg};
 
 pub use crate::codec::WireError;

@@ -50,7 +50,10 @@ fn main() {
 
     let md = sim.metrics.kind_total(RequestKind::Md);
     println!("pairs delivered : {}", md.pairs_delivered);
-    println!("throughput      : {:.2} pairs/s", sim.metrics.throughput(RequestKind::Md));
+    println!(
+        "throughput      : {:.2} pairs/s",
+        sim.metrics.throughput(RequestKind::Md)
+    );
 
     let q = &sim.metrics.qber;
     let rate = |(e, n): (u64, u64)| {

@@ -1,50 +1,104 @@
-//! The NL use case carried to its purpose: a repeater chain.
+//! The NL use case carried to its purpose: a repeater chain on one
+//! shared clock.
 //!
 //! The network layer builds long-distance entanglement by requesting
 //! NL-type pairs on adjacent links and fusing them with entanglement
 //! swapping (paper Figure 1b and §3.3 "Network Layer use case"). Here
-//! two QL2020-class hops each deliver link pairs through the full
-//! EGP/MHP stack — generated *concurrently*, as the paper's network
-//! layer prescribes — and the middle node swaps them. The end-to-end
-//! A–C fidelity versus the link fidelities is the cost the network
-//! layer will have to manage.
+//! a 3-node chain runs both Lab-class hops — each the full EGP/MHP
+//! stack — on a **single shared event queue**: the middle node swaps
+//! the instant both its pairs exist (SWAP-ASAP), the Bell-measurement
+//! outcome travels classical control channels to the ends, and the
+//! reported latency is the true simulated time until both ends hold a
+//! usable pair. A small parallel sweep then fans scenarios × seeds
+//! across OS threads.
 //!
 //! Run with:
 //! ```sh
 //! cargo run --release --example repeater
 //! ```
 
+use qlink::net::sweep::run_one;
+use qlink::net::TraceKind;
 use qlink::prelude::*;
 
 fn main() {
-    // Two hops; Lab-class links keep the example fast. Swap in
-    // `LinkConfig::ql2020(...)` to see metropolitan-distance numbers.
-    let hop = |seed| LinkConfig::lab(WorkloadSpec::none(), seed);
-    let mut chain = RepeaterChain::new(vec![hop(11), hop(22)]);
+    // --- one end-to-end generation, traced -------------------------
+    let topo = Topology::chain(3, |i| {
+        LinkConfig::lab(WorkloadSpec::none(), 11 + 11 * i as u64)
+    });
+    let mut net = Network::new(topo, 7);
+    net.enable_trace();
 
-    println!(
-        "generating NL pairs concurrently on {} hops (full EGP/MHP stack each)...",
-        chain.hops()
-    );
-    let out = chain
-        .generate_end_to_end(0.6, SimDuration::from_secs(30))
+    println!("3-node chain, both hops on one shared event queue...");
+    net.request_entanglement(0, 2, 0.6);
+    let out = net
+        .run_until_outcome(SimDuration::from_secs(30))
         .expect("hops should deliver within 30 simulated seconds");
 
     for (i, f) in out.link_fidelities.iter().enumerate() {
         println!("  hop {} link fidelity : {f:.4}", i + 1);
     }
     println!(
-        "  generation time      : {:.2} s (slowest hop; hops run in parallel)",
-        out.generation_time.as_secs_f64()
+        "  swaps performed      : {} (BSM parity Z={} X={}, folded in at swap time)",
+        out.swaps, out.frame_z, out.frame_x
     );
     println!(
-        "  end-to-end fidelity  : {:.4} after entanglement swapping",
+        "  end-to-end latency   : {:.3} s (CREATE → both ends frame-fixed)",
+        out.latency.as_secs_f64()
+    );
+    println!(
+        "  end-to-end fidelity  : {:.4} after swap + memory decay",
         out.end_to_end_fidelity
     );
+    println!("  usable (F > 1/2)     : {}", out.end_to_end_fidelity > 0.5);
+
+    // The trace is one monotone SimTime stream interleaving every
+    // link's events with the control plane.
+    let trace = net.trace();
+    let wakes = trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::LinkWake(_)))
+        .count();
+    let ctrl = trace
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::Control(_)))
+        .count();
     println!(
-        "  above the F = 1/2 usefulness threshold: {}",
-        out.end_to_end_fidelity > 0.5
+        "  shared-clock trace   : {} entries ({wakes} link wakes, {ctrl} control msgs)",
+        trace.len()
     );
+
+    // --- scenario sweep across OS threads ---------------------------
+    // At least two workers so the fan-out is exercised even on a
+    // single-core box (OS threads, not cores, bound the matrix).
+    let threads = std::thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .clamp(2, 8);
+    println!();
+    println!("sweeping 2 scenarios x 4 seeds across {threads} threads...");
+    let specs = vec![
+        ScenarioSpec::lab_chain("lab-2hop", 3),
+        ScenarioSpec::lab_chain("lab-3hop", 4).with_max_time(SimDuration::from_secs(30)),
+    ];
+    let report = sweep(&specs, &[1, 2, 3, 4], threads);
+    for s in &report.scenarios {
+        println!(
+            "  {:<9} {}/{} rounds ok, mean F = {:.4}, mean latency = {:.3} s, {} events",
+            s.name,
+            s.successes,
+            s.rounds,
+            s.fidelity.mean(),
+            s.latency_s.mean(),
+            s.events,
+        );
+    }
+    // Single runs are reproducible regardless of the sweep threading.
+    let lone = run_one(&specs[0], 1);
+    assert_eq!(
+        lone.events, report.runs[0].events,
+        "determinism across drivers"
+    );
+
     println!();
     println!("swapping multiplies link infidelities — this is why the paper gives");
     println!("NL requests strict priority: the network layer wants fresh,");

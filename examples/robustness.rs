@@ -34,7 +34,10 @@ fn main() {
         println!("  {km:>4} km, no splices : {:.1e}", lb.frame_error_rate(km));
     }
     let spliced = qlink::classical::LinkBudget::gigabit_1000base_zx().with_splices(30, 0.3);
-    println!("  15 km, 30 splices   : {:.1e}\n", spliced.frame_error_rate(15.0));
+    println!(
+        "  15 km, 30 splices   : {:.1e}\n",
+        spliced.frame_error_rate(15.0)
+    );
 
     println!("stress test: inflated loss on every control channel (10 sim s each):");
     println!(
@@ -43,11 +46,8 @@ fn main() {
     );
     let baseline = run(0.0);
     for loss in [0.0, 1e-6, 1e-4, 1e-3, 1e-2] {
-        let (pairs, fidelity, expires, expire_errs) = if loss == 0.0 {
-            baseline
-        } else {
-            run(loss)
-        };
+        let (pairs, fidelity, expires, expire_errs) =
+            if loss == 0.0 { baseline } else { run(loss) };
         println!("{loss:>8.0e} {pairs:>8} {fidelity:>10.4} {expires:>9} {expire_errs:>12}");
     }
     println!();

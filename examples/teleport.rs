@@ -11,10 +11,10 @@
 //! cargo run --release --example teleport
 //! ```
 
-use qlink::prelude::*;
-use qlink::quantum::ops::teleport;
 use qlink::math::complex::Complex;
 use qlink::math::CMatrix;
+use qlink::prelude::*;
+use qlink::quantum::ops::teleport;
 
 fn main() {
     let mut rng = DetRng::new(1234);
@@ -33,9 +33,15 @@ fn main() {
     );
     sim.run_for(SimDuration::from_secs(20));
     let ck = sim.metrics.kind_total(RequestKind::Ck);
-    assert!(ck.pairs_delivered > 0, "link layer did not deliver a pair in time");
+    assert!(
+        ck.pairs_delivered > 0,
+        "link layer did not deliver a pair in time"
+    );
     let link_fidelity = ck.fidelity.mean();
-    println!("link delivered a stored pair with fidelity {:.4}", link_fidelity);
+    println!(
+        "link delivered a stored pair with fidelity {:.4}",
+        link_fidelity
+    );
 
     // 2. Model the delivered pair as a Werner state of that fidelity
     //    (the link's OK hands ownership to the transport layer; the
@@ -68,6 +74,10 @@ fn main() {
     println!("analytic expectation for a Werner resource: {predicted:.4}");
     println!(
         "classical limit without entanglement is 2/3 — teleportation {} it",
-        if avg > 2.0 / 3.0 { "beats" } else { "does not beat" }
+        if avg > 2.0 / 3.0 {
+            "beats"
+        } else {
+            "does not beat"
+        }
     );
 }

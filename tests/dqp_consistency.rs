@@ -2,12 +2,13 @@
 //! identical queues at both nodes under arbitrary frame loss, as long
 //! as retransmission eventually succeeds (§E.1.2's Equal queue number
 //! / Uniqueness / Consistency properties).
+//!
+//! Cases are drawn from a seeded [`DetRng`] instead of `proptest`
+//! (crates.io is unreachable in the build environment), keeping runs
+//! deterministic with the failing case index in the panic message.
 
-use proptest::prelude::*;
 use qlink::des::DetRng;
-use qlink::egp::dqueue::{
-    AddPayload, DistributedQueue, DqpEvent, DqueueConfig, Role,
-};
+use qlink::egp::dqueue::{AddPayload, DistributedQueue, DqpEvent, DqueueConfig, Role};
 use qlink::egp::request::RequestId;
 use qlink::wire::fields::{Fidelity16, RequestFlags};
 
@@ -44,10 +45,11 @@ fn run_session(
     let mut wire: Vec<(bool, qlink::wire::dqp::DqpMessage)> = Vec::new();
     let mut cycle = 0u64;
 
-    let push_events = |events: Vec<DqpEvent>, from_master: bool,
-                           wire: &mut Vec<(bool, qlink::wire::dqp::DqpMessage)>,
-                           rng: &mut DetRng,
-                           lossy: bool| {
+    let push_events = |events: Vec<DqpEvent>,
+                       from_master: bool,
+                       wire: &mut Vec<(bool, qlink::wire::dqp::DqpMessage)>,
+                       rng: &mut DetRng,
+                       lossy: bool| {
         for ev in events {
             if let DqpEvent::Send(msg) = ev {
                 if !(lossy && rng.bernoulli(loss)) {
@@ -109,32 +111,47 @@ fn run_session(
     (snapshot(&master), snapshot(&slave))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn queues_converge_under_loss(
-        adds in prop::collection::vec((any::<bool>(), 0u8..3), 1..20),
-        loss in 0.0f64..0.5,
-        seed: u64,
-    ) {
+fn random_adds(rng: &mut DetRng) -> Vec<(bool, u8)> {
+    let n = 1 + rng.below(19) as usize;
+    (0..n)
+        .map(|_| (rng.bernoulli(0.5), rng.below(3) as u8))
+        .collect()
+}
+
+#[test]
+fn queues_converge_under_loss() {
+    let root = DetRng::new(0xd9b_c0de);
+    for case in 0..CASES {
+        let mut rng = root.substream(&format!("lossy/{case}"));
+        let adds = random_adds(&mut rng);
+        let loss = rng.uniform() * 0.5;
+        let seed = rng.below(u64::MAX);
         let (m, s) = run_session(&adds, loss, seed);
         // Consistency: both nodes end with identical queue content.
-        prop_assert_eq!(&m, &s, "queues diverged");
+        assert_eq!(&m, &s, "case {case}: queues diverged");
         // Uniqueness: no duplicate queue IDs.
         let mut ids: Vec<&String> = m.iter().collect();
         ids.sort();
         ids.dedup();
-        prop_assert_eq!(ids.len(), m.len(), "duplicate queue ids");
+        assert_eq!(ids.len(), m.len(), "case {case}: duplicate queue ids");
     }
+}
 
-    #[test]
-    fn lossless_sessions_commit_everything(
-        adds in prop::collection::vec((any::<bool>(), 0u8..3), 1..20),
-        seed: u64,
-    ) {
+#[test]
+fn lossless_sessions_commit_everything() {
+    let root = DetRng::new(0x1055_1e55);
+    for case in 0..CASES {
+        let mut rng = root.substream(&format!("lossless/{case}"));
+        let adds = random_adds(&mut rng);
+        let seed = rng.below(u64::MAX);
         let (m, s) = run_session(&adds, 0.0, seed);
-        prop_assert_eq!(m.len(), adds.len(), "every add commits without loss");
-        prop_assert_eq!(m, s);
+        assert_eq!(
+            m.len(),
+            adds.len(),
+            "case {case}: every add commits without loss"
+        );
+        assert_eq!(m, s, "case {case}");
     }
 }

@@ -1,10 +1,15 @@
 //! Property-based tests on core data structures and invariants.
+//!
+//! The build environment has no crates.io access, so instead of
+//! `proptest` these use a small hand-rolled harness: each property is
+//! checked against a fixed number of cases drawn from a seeded
+//! [`DetRng`], which keeps runs deterministic and failures trivially
+//! reproducible (the failing case index is part of the panic message).
 
-use proptest::prelude::*;
-use qlink::des::{EventQueue, SimDuration};
+use qlink::des::{DetRng, EventQueue, SimDuration};
 use qlink::math::stats::{relative_difference, RunningStats};
 use qlink::math::CMatrix;
-use qlink::quantum::bell::{werner_state, BellState, Qber};
+use qlink::quantum::bell::{bell_fidelity, werner_state, BellState, Qber};
 use qlink::quantum::{channels, gates, Basis, QuantumState};
 use qlink::wire::dqp::{DqpFrameType, DqpMessage};
 use qlink::wire::egp::{CreateMsg, ExpireMsg};
@@ -12,230 +17,295 @@ use qlink::wire::fields::{AbsQueueId, Fidelity16, RequestFlags};
 use qlink::wire::mhp::GenMsg;
 use qlink::wire::Frame;
 
-proptest! {
-    // ---- wire formats --------------------------------------------------
+const CASES: u64 = 128;
 
-    #[test]
-    fn frame_round_trip_gen(qid in 0u8..16, qseq: u16, cycle: u64) {
+/// Runs `body` for `CASES` deterministic cases, each with its own RNG
+/// substream; panics carry the failing case index.
+fn check(name: &str, mut body: impl FnMut(&mut DetRng)) {
+    let root = DetRng::new(0x9f0b_5eed);
+    for case in 0..CASES {
+        let mut rng = root.substream(&format!("{name}/{case}"));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            panic!("property {name} failed at case {case}: {e:?}");
+        }
+    }
+}
+
+fn u16_any(rng: &mut DetRng) -> u16 {
+    rng.below(1 << 16) as u16
+}
+
+fn u64_any(rng: &mut DetRng) -> u64 {
+    // Two 32-bit halves: DetRng::below can't span the full u64 range.
+    (rng.below(1 << 32) << 32) | rng.below(1 << 32)
+}
+
+// ---- wire formats --------------------------------------------------
+
+#[test]
+fn frame_round_trip_gen() {
+    check("gen", |rng| {
         let frame = Frame::Gen(GenMsg {
-            queue_id: AbsQueueId::new(qid, qseq),
-            timestamp_cycle: cycle,
+            queue_id: AbsQueueId::new(rng.below(16) as u8, u16_any(rng)),
+            timestamp_cycle: u64_any(rng),
         });
         let bytes = frame.encode();
-        prop_assert_eq!(Frame::decode(&bytes).unwrap(), frame);
-    }
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+    });
+}
 
-    #[test]
-    fn frame_round_trip_dqp(
-        ft in 0u8..3,
-        cseq: u8,
-        qid in 0u8..16,
-        qseq: u16,
-        sched: u64,
-        timeout: u64,
-        fid in 0.0f64..=1.0,
-        purpose: u16,
-        create: u16,
-        pairs in 1u16..512,
-        priority in 0u8..16,
-        vf in 0.0f64..1e12,
-        est: u32,
-        store: bool,
-        atomic: bool,
-        consecutive: bool,
-    ) {
+#[test]
+fn frame_round_trip_dqp() {
+    check("dqp", |rng| {
         let frame = Frame::Dqp(DqpMessage {
-            frame_type: match ft { 0 => DqpFrameType::Add, 1 => DqpFrameType::Ack, _ => DqpFrameType::Rej },
-            cseq,
-            queue_id: AbsQueueId::new(qid, qseq),
-            schedule_cycle: sched,
-            timeout_cycle: timeout,
-            min_fidelity: Fidelity16::from_f64(fid),
-            purpose_id: purpose,
-            create_id: create,
-            num_pairs: pairs,
-            priority,
-            initial_virtual_finish: vf,
-            est_cycles_per_pair: est,
-            flags: RequestFlags {
-                store,
-                atomic,
-                measure_directly: !store,
-                master_request: false,
-                consecutive,
+            frame_type: match rng.below(3) {
+                0 => DqpFrameType::Add,
+                1 => DqpFrameType::Ack,
+                _ => DqpFrameType::Rej,
+            },
+            cseq: rng.below(256) as u8,
+            queue_id: AbsQueueId::new(rng.below(16) as u8, u16_any(rng)),
+            schedule_cycle: u64_any(rng),
+            timeout_cycle: u64_any(rng),
+            min_fidelity: Fidelity16::from_f64(rng.uniform()),
+            purpose_id: u16_any(rng),
+            create_id: u16_any(rng),
+            num_pairs: 1 + rng.below(511) as u16,
+            priority: rng.below(16) as u8,
+            initial_virtual_finish: rng.uniform() * 1e12,
+            est_cycles_per_pair: rng.below(1 << 32) as u32,
+            flags: {
+                let store = rng.bernoulli(0.5);
+                RequestFlags {
+                    store,
+                    atomic: rng.bernoulli(0.5),
+                    measure_directly: !store,
+                    master_request: false,
+                    consecutive: rng.bernoulli(0.5),
+                }
             },
         });
         let bytes = frame.encode();
-        prop_assert_eq!(Frame::decode(&bytes).unwrap(), frame);
-    }
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+    });
+}
 
-    #[test]
-    fn frame_round_trip_create(fid in 0.0f64..=1.0, tmax: u64, purpose: u16, n in 1u16..1000, prio in 0u8..16) {
+#[test]
+fn frame_round_trip_create() {
+    check("create", |rng| {
         let frame = Frame::Create(CreateMsg {
             remote_node_id: 2,
-            min_fidelity: Fidelity16::from_f64(fid),
-            max_time_us: tmax,
-            purpose_id: purpose,
-            number: n,
-            priority: prio,
-            flags: RequestFlags { store: true, consecutive: true, ..Default::default() },
+            min_fidelity: Fidelity16::from_f64(rng.uniform()),
+            max_time_us: u64_any(rng),
+            purpose_id: u16_any(rng),
+            number: 1 + rng.below(999) as u16,
+            priority: rng.below(16) as u8,
+            flags: RequestFlags {
+                store: true,
+                consecutive: true,
+                ..Default::default()
+            },
         });
         let bytes = frame.encode();
-        prop_assert_eq!(Frame::decode(&bytes).unwrap(), frame);
-    }
+        assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+    });
+}
 
-    #[test]
-    fn corrupted_frames_never_parse_as_different_valid_frame(
-        qid in 0u8..16, qseq: u16, cycle: u64, flip_byte: usize, flip_bit in 0u8..8,
-    ) {
+#[test]
+fn corrupted_frames_never_parse_as_different_valid_frame() {
+    check("corrupt", |rng| {
+        let cycle = u64_any(rng);
         let frame = Frame::Expire(ExpireMsg {
-            queue_id: AbsQueueId::new(qid, qseq),
+            queue_id: AbsQueueId::new(rng.below(16) as u8, u16_any(rng)),
             origin_id: 1,
             create_id: 9,
             seq_low: (cycle % 65_536) as u16,
             seq_high: (cycle % 65_521) as u16,
         });
         let mut bytes = frame.encode();
-        let idx = flip_byte % bytes.len();
-        bytes[idx] ^= 1 << flip_bit;
+        let idx = rng.below(bytes.len() as u64) as usize;
+        bytes[idx] ^= 1 << rng.below(8);
         // CRC-32 catches every single-bit flip.
-        prop_assert!(Frame::decode(&bytes).is_err());
-    }
+        assert!(Frame::decode(&bytes).is_err());
+    });
+}
 
-    // ---- quantum substrate ---------------------------------------------
+// ---- quantum substrate ---------------------------------------------
 
-    #[test]
-    fn channels_preserve_physicality(p in 0.0f64..=1.0, theta in 0.0f64..6.25) {
+#[test]
+fn channels_preserve_physicality() {
+    check("physicality", |rng| {
+        let p = rng.uniform();
+        let theta = rng.uniform() * 6.25;
         let mut s = QuantumState::ground(1);
         s.apply_unitary(&gates::ry(theta), &[0]);
         channels::apply_to(&mut s, &channels::dephasing(p), 0);
         channels::apply_to(&mut s, &channels::depolarizing(p), 0);
         channels::apply_to(&mut s, &channels::amplitude_damping(p), 0);
-        prop_assert!(s.is_physical(1e-9));
-    }
+        assert!(s.is_physical(1e-9));
+    });
+}
 
-    #[test]
-    fn t1t2_decay_is_physical_and_monotone(t in 0.0f64..0.01) {
+#[test]
+fn t1t2_decay_is_physical_and_monotone() {
+    check("t1t2", |rng| {
+        let t = rng.uniform() * 0.01;
         let mut s = BellState::PsiPlus.state();
         channels::apply_to(&mut s, &channels::t1t2_decay(t, 2.86e-3, 1.0e-3), 0);
-        prop_assert!(s.is_physical(1e-9));
-        let f = qlink::quantum::bell::bell_fidelity(&s, (0, 1), BellState::PsiPlus);
-        prop_assert!(f <= 1.0 + 1e-12);
+        assert!(s.is_physical(1e-9));
+        let f = bell_fidelity(&s, (0, 1), BellState::PsiPlus);
+        assert!(f <= 1.0 + 1e-12);
         // More time → no better fidelity.
         let mut s2 = BellState::PsiPlus.state();
         channels::apply_to(&mut s2, &channels::t1t2_decay(t + 1e-4, 2.86e-3, 1.0e-3), 0);
-        let f2 = qlink::quantum::bell::bell_fidelity(&s2, (0, 1), BellState::PsiPlus);
-        prop_assert!(f2 <= f + 1e-9);
-    }
+        let f2 = bell_fidelity(&s2, (0, 1), BellState::PsiPlus);
+        assert!(f2 <= f + 1e-9);
+    });
+}
 
-    #[test]
-    fn eq16_fidelity_qber_consistency(p in 0.0f64..=1.0) {
+#[test]
+fn eq16_fidelity_qber_consistency() {
+    check("eq16", |rng| {
         // For any Werner state, eq. (16) holds exactly.
-        let s = werner_state(BellState::PsiMinus, p);
-        let direct = qlink::quantum::bell::bell_fidelity(&s, (0, 1), BellState::PsiMinus);
+        let s = werner_state(BellState::PsiMinus, rng.uniform());
+        let direct = bell_fidelity(&s, (0, 1), BellState::PsiMinus);
         let via_qber = Qber::of_state(&s, (0, 1), BellState::PsiMinus).fidelity();
-        prop_assert!((direct - via_qber).abs() < 1e-9);
-    }
+        assert!((direct - via_qber).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn partial_trace_preserves_trace(theta in 0.0f64..6.25, phi in 0.0f64..6.25) {
+#[test]
+fn partial_trace_preserves_trace() {
+    check("ptrace", |rng| {
+        let theta = rng.uniform() * 6.25;
+        let phi = rng.uniform() * 6.25;
         let mut s = QuantumState::ground(3);
         s.apply_unitary(&gates::ry(theta), &[0]);
         s.apply_unitary(&gates::cnot(), &[0, 1]);
         s.apply_unitary(&gates::rz(phi), &[1]);
         s.apply_unitary(&gates::cnot(), &[1, 2]);
-        for keep in [vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![1, 2]] {
+        for keep in [
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+        ] {
             let r = s.partial_trace(&keep);
-            prop_assert!((r.trace() - 1.0).abs() < 1e-9);
-            prop_assert!(r.is_physical(1e-9));
+            assert!((r.trace() - 1.0).abs() < 1e-9);
+            assert!(r.is_physical(1e-9));
         }
-    }
+    });
+}
 
-    #[test]
-    fn unitaries_preserve_fidelity_sum(theta in 0.0f64..6.25) {
+#[test]
+fn unitaries_preserve_fidelity_sum() {
+    check("fidsum", |rng| {
         // Rotating one half of a Bell pair moves fidelity between the
         // four Bell states but their sum stays 1.
         let mut s = BellState::PhiPlus.state();
-        s.apply_unitary(&gates::rz(theta), &[0]);
+        s.apply_unitary(&gates::rz(rng.uniform() * 6.25), &[0]);
         let total: f64 = BellState::ALL
             .iter()
-            .map(|b| qlink::quantum::bell::bell_fidelity(&s, (0, 1), *b))
+            .map(|b| bell_fidelity(&s, (0, 1), *b))
             .sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-    }
+        assert!((total - 1.0).abs() < 1e-9);
+    });
+}
 
-    // ---- event queue ----------------------------------------------------
+// ---- event queue ----------------------------------------------------
 
-    #[test]
-    fn event_queue_pops_sorted(delays in prop::collection::vec(0u64..1_000_000, 1..100)) {
+#[test]
+fn event_queue_pops_sorted() {
+    check("sorted", |rng| {
+        let n = 1 + rng.below(99) as usize;
         let mut q = EventQueue::new();
-        for (i, d) in delays.iter().enumerate() {
-            q.schedule_in(SimDuration::from_ps(*d), i);
+        for i in 0..n {
+            q.schedule_in(SimDuration::from_ps(rng.below(1_000_000)), i);
         }
         let mut last = None;
         while let Some((t, _)) = q.pop() {
             if let Some(prev) = last {
-                prop_assert!(t >= prev);
+                assert!(t >= prev);
             }
             last = Some(t);
         }
-    }
+    });
+}
 
-    #[test]
-    fn event_queue_fifo_within_timestamp(n in 1usize..50) {
+#[test]
+fn event_queue_fifo_within_timestamp() {
+    check("fifo", |rng| {
+        let n = 1 + rng.below(49) as usize;
         let mut q = EventQueue::new();
         for i in 0..n {
             q.schedule_in(SimDuration::from_ps(42), i);
         }
         let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         let expected: Vec<usize> = (0..n).collect();
-        prop_assert_eq!(order, expected);
-    }
+        assert_eq!(order, expected);
+    });
+}
 
-    // ---- math -----------------------------------------------------------
+// ---- math -----------------------------------------------------------
 
-    #[test]
-    fn running_stats_match_naive(data in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+#[test]
+fn running_stats_match_naive() {
+    check("stats", |rng| {
+        let n = 2 + rng.below(198) as usize;
+        let data: Vec<f64> = (0..n).map(|_| (rng.uniform() - 0.5) * 2e6).collect();
         let mut s = RunningStats::new();
         for &x in &data {
             s.push(x);
         }
-        let n = data.len() as f64;
-        let mean = data.iter().sum::<f64>() / n;
-        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
-    }
+        let nf = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / nf;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (nf - 1.0);
+        assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn relative_difference_bounds(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+#[test]
+fn relative_difference_bounds() {
+    check("reldiff", |rng| {
+        let a = (rng.uniform() - 0.5) * 2e9;
+        let b = (rng.uniform() - 0.5) * 2e9;
         let r = relative_difference(a, b);
-        prop_assert!(r >= 0.0);
-        prop_assert!(r <= 2.0 + 1e-12);
-        prop_assert!((relative_difference(a, b) - relative_difference(b, a)).abs() < 1e-12);
-    }
+        assert!(r >= 0.0);
+        assert!(r <= 2.0 + 1e-12);
+        assert!((relative_difference(a, b) - relative_difference(b, a)).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn kron_dimensions_multiply(n in 1usize..4, m in 1usize..4) {
+#[test]
+fn kron_dimensions_multiply() {
+    check("kron", |rng| {
+        let n = 1 + rng.below(3) as usize;
+        let m = 1 + rng.below(3) as usize;
         let a = CMatrix::identity(n);
         let b = CMatrix::identity(m);
         let k = a.kron(&b);
-        prop_assert_eq!(k.rows(), n * m);
-        prop_assert!(k.approx_eq(&CMatrix::identity(n * m), 1e-12));
-    }
-
-    #[test]
-    fn bessel_ratio_bounded(x in 0.0f64..500.0) {
-        let r = qlink::math::bessel::i1_over_i0(x);
-        prop_assert!((0.0..1.0).contains(&r) || x == 0.0);
-    }
+        assert_eq!(k.rows(), n * m);
+        assert!(k.approx_eq(&CMatrix::identity(n * m), 1e-12));
+    });
 }
 
-// Non-proptest invariants that complement the above.
+#[test]
+fn bessel_ratio_bounded() {
+    check("bessel", |rng| {
+        let x = rng.uniform() * 500.0;
+        let r = qlink::math::bessel::i1_over_i0(x);
+        assert!((0.0..1.0).contains(&r) || x == 0.0);
+    });
+}
+
+// Non-random invariants that complement the above.
 
 #[test]
 fn measurement_outcomes_unbiased_on_bell_pairs() {
-    use qlink::des::DetRng;
     let mut rng = DetRng::new(1);
     let mut ones = 0;
     let n = 2000;

@@ -71,7 +71,10 @@ fn metrics_stable_across_loss_levels() {
     assert!(pairs0 > 0.0);
     let rel_pairs = qlink::math::stats::relative_difference(pairs0, pairs1);
     let rel_fid = qlink::math::stats::relative_difference(fid0, fid1);
-    assert!(rel_pairs < 0.30, "pair count moved {rel_pairs} at 1e-4 loss");
+    assert!(
+        rel_pairs < 0.30,
+        "pair count moved {rel_pairs} at 1e-4 loss"
+    );
     assert!(rel_fid < 0.05, "fidelity moved {rel_fid} at 1e-4 loss");
 }
 
@@ -91,14 +94,19 @@ fn keep_requests_survive_loss() {
     );
     sim.run_for(SimDuration::from_secs(15));
     let m = sim.metrics.kind_total(RequestKind::Nl);
-    assert!(m.pairs_delivered >= 1, "K-type under loss: {}", m.pairs_delivered);
+    assert!(
+        m.pairs_delivered >= 1,
+        "K-type under loss: {}",
+        m.pairs_delivered
+    );
 }
 
 #[test]
 fn deterministic_under_loss_given_seed() {
     let run = |seed| {
-        let mut sim =
-            LinkSimulation::new(LinkConfig::lab(WorkloadSpec::none(), seed).with_classical_loss(5e-3));
+        let mut sim = LinkSimulation::new(
+            LinkConfig::lab(WorkloadSpec::none(), seed).with_classical_loss(5e-3),
+        );
         sim.submit(0, md(3));
         sim.run_for(SimDuration::from_secs(6));
         (sim.metrics.total_pairs(), sim.events_fired())
