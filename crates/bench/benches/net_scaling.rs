@@ -1,0 +1,110 @@
+//! Network-layer scaling benches (ROADMAP item).
+//!
+//! Two families:
+//!
+//! * `chain/*` — end-to-end generation over growing SWAP-ASAP chains:
+//!   how simulated hops scale the *wall-clock* cost of one delivered
+//!   pair (the simulation-throughput figure the sweep driver cares
+//!   about), with the delivered latency/fidelity printed once for
+//!   orientation.
+//! * `route/*` — routing overhead on a grid: requests/second of pure
+//!   path computation for unit-cost Dijkstra (PR 1's BFS
+//!   equivalent), profile-aware Dijkstra, and Yen K-shortest-paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qlink::net::route::{FidelityProduct, HopCount, Latency, RoutePlanner};
+use qlink::net::sweep::run_one;
+use qlink::prelude::*;
+
+fn lab(seed: u64) -> LinkConfig {
+    LinkConfig::lab(WorkloadSpec::none(), seed)
+}
+
+/// An n × n grid, nodes indexed row-major, every adjacent pair linked.
+fn grid(n: usize) -> Topology {
+    let mut t = Topology::new();
+    for _ in 0..n * n {
+        t.add_node();
+    }
+    let mut seed = 0;
+    for r in 0..n {
+        for c in 0..n {
+            let i = r * n + c;
+            if c + 1 < n {
+                seed += 1;
+                t.connect(i, i + 1, lab(seed));
+            }
+            if r + 1 < n {
+                seed += 1;
+                t.connect(i, i + n, lab(seed));
+            }
+        }
+    }
+    t
+}
+
+fn bench_chain_scaling(c: &mut Criterion) {
+    // Print the hops → latency/fidelity curve once so the bench log
+    // doubles as the scaling table.
+    for nodes in [2, 3, 4] {
+        let spec = ScenarioSpec::lab_chain(format!("{}hop", nodes - 1), nodes)
+            .with_max_time(SimDuration::from_secs(60));
+        let r = run_one(&spec, 1);
+        println!(
+            "chain {} hop(s): {}/{} delivered, mean F = {:.4}, mean latency = {:.3} s",
+            nodes - 1,
+            r.successes,
+            r.rounds,
+            r.fidelity.mean(),
+            r.latency_s.mean(),
+        );
+    }
+    for nodes in [2, 3, 4] {
+        let spec = ScenarioSpec::lab_chain(format!("{}hop", nodes - 1), nodes)
+            .with_max_time(SimDuration::from_secs(60));
+        c.bench_function(&format!("chain/end_to_end_{}hop", nodes - 1), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_one(black_box(&spec), seed))
+            })
+        });
+    }
+}
+
+fn bench_routing_overhead(c: &mut Criterion) {
+    let topo = grid(6);
+    let (src, dst) = (0, topo.node_count() - 1);
+
+    // Unit-cost Dijkstra — the hop-count routing every request pays.
+    c.bench_function("route/hopcount_dijkstra_6x6", |b| {
+        b.iter(|| black_box(topo.shortest_path(black_box(src), black_box(dst))))
+    });
+
+    // Profile construction is the one-off cost of metric routing.
+    c.bench_function("route/profile_build_6x6", |b| {
+        b.iter(|| black_box(RoutePlanner::new(black_box(&topo))))
+    });
+
+    // Metric-aware searches on a prebuilt planner.
+    let planner = RoutePlanner::new(&topo);
+    c.bench_function("route/latency_dijkstra_6x6", |b| {
+        b.iter(|| black_box(planner.shortest_path(&topo, src, dst, &Latency, 0.6)))
+    });
+    c.bench_function("route/fidelity_dijkstra_6x6", |b| {
+        b.iter(|| black_box(planner.shortest_path(&topo, src, dst, &FidelityProduct, 0.6)))
+    });
+    c.bench_function("route/yen_k4_hopcount_6x6", |b| {
+        b.iter(|| black_box(planner.k_shortest_paths(&topo, src, dst, 4, &HopCount, 0.0)))
+    });
+    c.bench_function("route/yen_k4_fidelity_6x6", |b| {
+        b.iter(|| black_box(planner.k_shortest_paths(&topo, src, dst, 4, &FidelityProduct, 0.6)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_chain_scaling, bench_routing_overhead
+}
+criterion_main!(benches);

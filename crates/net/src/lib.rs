@@ -15,24 +15,38 @@
 //!   discrete-event queue: a single `SimTime` stream orders every MHP
 //!   cycle of every link against every control message, and runs stay
 //!   bit-reproducible per seed;
+//! * [`route`] — the route-metric engine: per-edge cost profiles
+//!   (expected NL latency, attempt success probability, memory-decay-
+//!   adjusted fidelity) derived from each edge's link configuration,
+//!   deterministic Dijkstra and Yen K-shortest-paths search, and the
+//!   pluggable [`RouteMetric`] trait ([`HopCount`], [`Latency`],
+//!   [`FidelityProduct`]) steering [`Network::request_entanglement`]
+//!   and the multi-path splitter
+//!   [`Network::request_entanglement_multipath`];
 //! * [`node`] — SWAP-ASAP state machines: repeaters swap the moment
 //!   pairs exist on both their path edges, ends collect Bell-outcome
 //!   frames; composition applies the exact simulated memory decay via
 //!   [`qlink_quantum::ops::entanglement_swap`];
 //! * [`chain`] — the repeater-chain convenience wrapper (successor of
 //!   the deprecated `qlink_sim::chain::RepeaterChain`);
-//! * [`sweep`] — the parallel scenario-sweep driver: a scenario × seed
+//! * [`sweep`](mod@sweep) — the parallel scenario-sweep driver: a scenario × seed
 //!   matrix fanned across OS threads with deterministic merged
 //!   aggregates.
 
 pub mod chain;
 pub mod network;
 pub mod node;
+pub mod route;
 pub mod sweep;
 pub mod topology;
 
 pub use chain::RepeaterChain;
 pub use network::{EndToEndOutcome, Network, TraceEntry, TraceKind};
 pub use node::{NodeAction, PathRole, SwapAsapNode};
-pub use sweep::{sweep, LinkScenario, RunRecord, ScenarioSpec, ScenarioStats, SweepReport};
+pub use route::{
+    EdgeProfile, FidelityProduct, HopCount, Latency, Route, RouteMetric, RoutePlanner,
+};
+pub use sweep::{
+    run_one, sweep, LinkScenario, MetricChoice, RunRecord, ScenarioSpec, ScenarioStats, SweepReport,
+};
 pub use topology::{Edge, Node, Topology};

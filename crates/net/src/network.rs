@@ -18,8 +18,20 @@
 //! as soon as both adjacent pairs exist, and the composed end-to-end
 //! state — decayed in memory for exactly the simulated storage times —
 //! is delivered with its true simulated latency.
+//!
+//! Paths come from the route-metric engine (see [`crate::route`]):
+//! [`Network::request_entanglement`] routes under a pluggable
+//! [`RouteMetric`] (hop count by default; latency- and
+//! fidelity-product-aware alternatives via
+//! [`Network::set_route_metric`]), and
+//! [`Network::request_entanglement_multipath`] splits concurrent
+//! same-pair requests across the K best routes — edge-disjoint where
+//! the topology allows, otherwise sharing edges under the EGP
+//! distributed queue's multiple-outstanding-CREATE arbitration
+//! (tracked per edge by [`Network::edge_load`]).
 
 use crate::node::{NodeAction, PathRole, SwapAsapNode};
+use crate::route::{HopCount, Route, RouteMetric, RoutePlanner};
 use crate::topology::Topology;
 use qlink_des::{DetRng, EventQueue, SimDuration, SimTime};
 use qlink_quantum::bell::{bell_fidelity, werner_from_fidelity, BellState};
@@ -173,6 +185,9 @@ pub struct Network {
     next_request: u64,
     outcomes: Vec<EndToEndOutcome>,
     trace: Option<Vec<TraceEntry>>,
+    metric: Box<dyn RouteMetric + Send>,
+    planner: Option<RoutePlanner>,
+    edge_load: Vec<u32>,
     /// Total simulated time this network has been run for.
     pub elapsed: SimDuration,
 }
@@ -202,6 +217,7 @@ impl Network {
             .collect();
         let mut net = Network {
             wake_gen: vec![0; links.len()],
+            edge_load: vec![0; links.len()],
             links,
             nodes,
             queue: EventQueue::new(),
@@ -211,6 +227,8 @@ impl Network {
             next_request: 0,
             outcomes: Vec::new(),
             trace: None,
+            metric: Box::new(HopCount),
+            planner: None,
             elapsed: SimDuration::ZERO,
             topo,
         };
@@ -258,20 +276,122 @@ impl Network {
         self.queue.events_fired() + self.links.iter().map(|l| l.events_fired()).sum::<u64>()
     }
 
+    /// Selects the [`RouteMetric`] used by subsequent
+    /// [`Network::request_entanglement`] calls. The default is
+    /// [`HopCount`]; [`crate::route::Latency`] and
+    /// [`crate::route::FidelityProduct`] weigh edges by the profiles
+    /// the route planner derives from each link's configuration.
+    pub fn set_route_metric(&mut self, metric: impl RouteMetric + Send + 'static) {
+        self.metric = Box::new(metric);
+    }
+
+    /// The metric currently steering route selection.
+    pub fn route_metric(&self) -> &dyn RouteMetric {
+        self.metric.as_ref()
+    }
+
+    /// Number of in-flight path reservations crossing edge `edge` —
+    /// the contention the EGP's distributed queue is arbitrating there
+    /// (it serves multiple outstanding CREATEs in queue order).
+    pub fn edge_load(&self, edge: usize) -> u32 {
+        self.edge_load[edge]
+    }
+
+    /// Plans up to `k` loopless routes from `src` to `dst` under the
+    /// current metric, cheapest first; edges whose achievable K-type
+    /// fidelity ceiling is below `fmin` are excluded — for *every*
+    /// metric, hop count included, because a link whose FEU cannot
+    /// reach `fmin` would reject the CREATE as UNSUPP and the request
+    /// would hang on a dead route. Planning is pure — nothing is
+    /// reserved. (The planner's edge profiles are built lazily on the
+    /// first call and reused for the life of the network.)
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes, `src == dst`, or `k == 0`.
+    pub fn plan_routes(&mut self, src: usize, dst: usize, fmin: f64, k: usize) -> Vec<Route> {
+        if self.planner.is_none() {
+            self.planner = Some(RoutePlanner::new(&self.topo));
+        }
+        let planner = self.planner.as_ref().expect("planner just built");
+        planner.k_shortest_paths(&self.topo, src, dst, k, self.metric.as_ref(), fmin)
+    }
+
+    /// The single best route under the current metric, or `None` if no
+    /// path can serve `fmin`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or `src == dst`.
+    pub fn plan_route(&mut self, src: usize, dst: usize, fmin: f64) -> Option<Route> {
+        self.plan_routes(src, dst, fmin, 1).into_iter().next()
+    }
+
     /// Requests end-to-end entanglement between `src` and `dst` at
     /// minimum link fidelity `fmin`; returns the request id. The path
-    /// is reserved immediately; NL CREATEs are issued hop-by-hop as
-    /// the reservation message propagates over the classical control
-    /// channels.
+    /// is chosen by the current [`RouteMetric`] (default:
+    /// [`HopCount`]) and reserved immediately; NL CREATEs are issued
+    /// hop-by-hop as the reservation message propagates over the
+    /// classical control channels.
+    ///
+    /// If paths exist but none can serve `fmin` (every candidate
+    /// contains an edge whose FEU ceiling is below it), the best
+    /// route *ignoring* feasibility is reserved instead: the links
+    /// reject their CREATEs as UNSUPP and the request never
+    /// completes, surfacing as a timeout — the same graceful
+    /// degradation the link layer itself gives an unachievable
+    /// `Fmin`, and what [`RepeaterChain::generate_end_to_end`]'s
+    /// `None` and the sweep driver's zero-success records rely on.
+    ///
+    /// [`RepeaterChain::generate_end_to_end`]:
+    ///     crate::chain::RepeaterChain::generate_end_to_end
     ///
     /// # Panics
     /// Panics if no path connects the nodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qlink_des::SimDuration;
+    /// use qlink_net::network::Network;
+    /// use qlink_net::topology::Topology;
+    /// use qlink_sim::config::LinkConfig;
+    /// use qlink_sim::workload::WorkloadSpec;
+    ///
+    /// // A 3-node repeater chain; node 1 swaps under SWAP-ASAP.
+    /// let topo = Topology::chain(3, |i| LinkConfig::lab(WorkloadSpec::none(), 100 + i as u64));
+    /// let mut net = Network::new(topo, 42);
+    /// net.request_entanglement(0, 2, 0.6);
+    /// let out = net
+    ///     .run_until_outcome(SimDuration::from_secs(30))
+    ///     .expect("SWAP-ASAP delivers");
+    /// assert_eq!(out.path, vec![0, 1, 2]);
+    /// assert_eq!(out.swaps, 1);
+    /// assert!(out.end_to_end_fidelity > 0.25);
+    /// ```
     pub fn request_entanglement(&mut self, src: usize, dst: usize, fmin: f64) -> u64 {
-        let path = self
-            .topo
-            .shortest_path(src, dst)
+        let route = self
+            .plan_route(src, dst, fmin)
+            // No serving path: reserve the best-effort route and let
+            // the links UNSUPP it (the request times out gracefully).
+            .or_else(|| self.plan_route(src, dst, 0.0))
             .unwrap_or_else(|| panic!("no path from {src} to {dst}"));
+        self.request_on_path(&route.nodes, fmin)
+    }
+
+    /// Requests entanglement between the ends of an explicit node
+    /// path, bypassing route selection. Useful for experiments that
+    /// pin paths, and the primitive
+    /// [`Network::request_entanglement_multipath`] builds on.
+    ///
+    /// # Panics
+    /// Panics if the path has fewer than two nodes or consecutive
+    /// nodes are not connected.
+    pub fn request_on_path(&mut self, path: &[usize], fmin: f64) -> u64 {
+        assert!(path.len() >= 2, "a path needs two ends");
+        let path = path.to_vec();
         let edges = self.topo.path_edges(&path);
+        for &e in &edges {
+            self.edge_load[e] += 1;
+        }
         let id = self.next_request;
         self.next_request += 1;
 
@@ -317,6 +437,68 @@ impl Network {
         id
     }
 
+    /// Requests `streams` concurrent end-to-end entanglements between
+    /// the same pair, split across the K best routes under the current
+    /// metric. Routes are taken edge-disjoint greedily (cheapest
+    /// first), widening the Yen candidate pool until `streams`
+    /// disjoint routes are found, the graph runs out of simple paths,
+    /// or the pool hits a sanity cap; when fewer disjoint routes exist
+    /// than `streams`, the remaining streams round-robin onto the
+    /// selected routes and shared edges arbitrate through the EGP's
+    /// distributed queue, which already serves multiple outstanding
+    /// CREATEs in queue order. Returns one request id per stream, in
+    /// issue order. As with [`Network::request_entanglement`], an
+    /// `fmin` no path can serve falls back to best-effort routes that
+    /// the links will UNSUPP (the streams then time out).
+    ///
+    /// # Panics
+    /// Panics if `streams == 0` or no path connects the nodes.
+    pub fn request_entanglement_multipath(
+        &mut self,
+        src: usize,
+        dst: usize,
+        fmin: f64,
+        streams: usize,
+    ) -> Vec<u64> {
+        assert!(streams >= 1, "no streams requested");
+        // A disjoint route ranked below non-disjoint ones can sit
+        // beyond the first `streams` candidates, so grow the pool
+        // until greedy selection is satisfied or the graph (or the
+        // cap — Yen's cost grows with k) is exhausted.
+        let cap = streams.max(32);
+        let mut k = streams;
+        let mut selected: Vec<Route> = Vec::new();
+        loop {
+            let mut routes = self.plan_routes(src, dst, fmin, k);
+            if routes.is_empty() {
+                // No serving path: fall back to best-effort routes
+                // the links will UNSUPP (streams time out gracefully).
+                routes = self.plan_routes(src, dst, 0.0, k);
+            }
+            assert!(!routes.is_empty(), "no path from {src} to {dst}");
+            let exhausted = routes.len() < k;
+            selected.clear();
+            for r in routes {
+                if selected.iter().all(|s| s.edge_disjoint(&r)) {
+                    selected.push(r);
+                }
+                if selected.len() == streams {
+                    break;
+                }
+            }
+            if selected.len() == streams || exhausted || k >= cap {
+                break;
+            }
+            k = (k * 2).min(cap);
+        }
+        (0..streams)
+            .map(|i| {
+                let nodes = selected[i % selected.len()].nodes.clone();
+                self.request_on_path(&nodes, fmin)
+            })
+            .collect()
+    }
+
     /// Runs the network for `duration` of global simulated time.
     pub fn run_for(&mut self, duration: SimDuration) {
         let horizon = self.queue.now() + duration;
@@ -360,6 +542,9 @@ impl Network {
         if let Some(req) = self.requests.remove(&request) {
             for &n in &req.path {
                 self.nodes[n].release(request);
+            }
+            for &e in &req.edges {
+                self.edge_load[e] -= 1;
             }
         }
         self.pending_creates.retain(|_, r| *r != request);
@@ -659,6 +844,9 @@ impl Network {
         };
         for &n in &req.path {
             self.nodes[n].release(request);
+        }
+        for &e in &req.edges {
+            self.edge_load[e] -= 1;
         }
         self.record(t, TraceKind::Complete(request));
         debug_assert_eq!(req.segments.len(), 1, "completion with fragmented path");

@@ -96,6 +96,28 @@ impl SwapAsapNode {
         self.paths.len()
     }
 
+    /// The in-flight request ids reserved at this node, ascending.
+    /// Reservations are independent per request, so one node serves
+    /// any number of concurrent paths (its own or other pairs').
+    pub fn active_requests(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.paths.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// How many of this node's reservations use edge `edge` — the
+    /// node-local view of the contention the EGP distributed queue
+    /// arbitrates when concurrent requests share a link.
+    pub fn reserved_on_edge(&self, edge: usize) -> usize {
+        self.paths
+            .values()
+            .filter(|st| match st.role {
+                PathRole::End { edge: own, .. } => own == edge,
+                PathRole::Repeater { left, right } => left == edge || right == edge,
+            })
+            .count()
+    }
+
     /// Reserves this node for a path with the given role.
     ///
     /// # Panics
@@ -275,6 +297,39 @@ mod tests {
                 frame_x: 0
             })
         );
+    }
+
+    #[test]
+    fn concurrent_requests_are_tracked_independently() {
+        let mut n = SwapAsapNode::new();
+        n.reserve(1, PathRole::Repeater { left: 0, right: 1 });
+        n.reserve(2, PathRole::Repeater { left: 0, right: 2 });
+        n.reserve(
+            5,
+            PathRole::End {
+                edge: 1,
+                expected_swaps: 1,
+            },
+        );
+        assert_eq!(n.active_requests(), vec![1, 2, 5]);
+        assert_eq!(n.reserved_on_edge(0), 2, "edge 0 is shared");
+        assert_eq!(n.reserved_on_edge(1), 2);
+        assert_eq!(n.reserved_on_edge(2), 1);
+        // A pair on the shared edge only advances the request it was
+        // matched to; the other stays incomplete.
+        assert_eq!(n.on_pair(1, 0), None);
+        assert_eq!(
+            n.on_pair(1, 1),
+            Some(NodeAction::Swap {
+                request: 1,
+                left: 0,
+                right: 1
+            })
+        );
+        assert_eq!(n.on_pair(2, 2), None, "request 2 still lacks edge 0");
+        n.release(1);
+        assert_eq!(n.active_requests(), vec![2, 5]);
+        assert_eq!(n.reserved_on_edge(0), 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! results.
 
 use crate::network::Network;
+use crate::route::{FidelityProduct, HopCount, Latency};
 use crate::topology::Topology;
 use qlink_des::{DetRng, SimDuration};
 use qlink_math::stats::RunningStats;
@@ -26,9 +27,43 @@ pub enum LinkScenario {
     Ql2020,
 }
 
+/// Which route metric a sweep run steers its network with (the
+/// `Copy` stand-in for the [`crate::route::RouteMetric`] trait
+/// objects, so specs stay data-only and `Send`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricChoice {
+    /// Fewest hops (the default; PR 1's behaviour).
+    #[default]
+    Hops,
+    /// Minimise summed expected generation latency.
+    Latency,
+    /// Maximise the product of link fidelities.
+    Fidelity,
+}
+
 /// A data-only description of one sweep scenario: a repeater chain
 /// with homogeneous hops. (Data-only so specs are trivially `Send` +
 /// `Clone` across worker threads.)
+///
+/// # Examples
+///
+/// ```
+/// use qlink_des::SimDuration;
+/// use qlink_net::sweep::{run_one, MetricChoice, ScenarioSpec};
+///
+/// // A 1-hop Lab chain, two rounds, fidelity-aware routing.
+/// let spec = ScenarioSpec::lab_chain("demo", 2)
+///     .with_rounds(2)
+///     .with_max_time(SimDuration::from_secs(20))
+///     .with_metric(MetricChoice::Fidelity);
+/// assert_eq!(spec.rounds, 2);
+///
+/// // One (scenario, seed) cell of the matrix, fully deterministic.
+/// let record = run_one(&spec, 7);
+/// assert_eq!(record.seed, 7);
+/// assert_eq!(record.rounds, 2);
+/// assert!(record.successes <= record.rounds);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
     /// Display name for the report.
@@ -47,11 +82,18 @@ pub struct ScenarioSpec {
     pub max_time: SimDuration,
     /// End-to-end rounds per run.
     pub rounds: u32,
+    /// Route metric steering each round's path selection.
+    pub metric: MetricChoice,
+    /// Concurrent same-pair requests per round (1 = single path; more
+    /// are split across routes by
+    /// [`Network::request_entanglement_multipath`]).
+    pub streams: u32,
 }
 
 impl ScenarioSpec {
     /// A Lab-scenario chain with sensible defaults: Fmin 0.6, 20
-    /// simulated seconds per round, one round.
+    /// simulated seconds per round, one round, hop-count routing, one
+    /// stream.
     pub fn lab_chain(name: impl Into<String>, nodes: usize) -> Self {
         ScenarioSpec {
             name: name.into(),
@@ -62,6 +104,8 @@ impl ScenarioSpec {
             fmin: 0.6,
             max_time: SimDuration::from_secs(20),
             rounds: 1,
+            metric: MetricChoice::Hops,
+            streams: 1,
         }
     }
 
@@ -74,6 +118,18 @@ impl ScenarioSpec {
     /// Builder: per-round simulated-time budget.
     pub fn with_max_time(mut self, max_time: SimDuration) -> Self {
         self.max_time = max_time;
+        self
+    }
+
+    /// Builder: route metric.
+    pub fn with_metric(mut self, metric: MetricChoice) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Builder: concurrent same-pair streams per round.
+    pub fn with_streams(mut self, streams: u32) -> Self {
+        self.streams = streams.max(1);
         self
     }
 
@@ -100,9 +156,9 @@ pub struct RunRecord {
     pub scenario: usize,
     /// The run's seed.
     pub seed: u64,
-    /// Rounds that delivered end-to-end entanglement.
+    /// Requests that delivered end-to-end entanglement.
     pub successes: u32,
-    /// Rounds attempted.
+    /// Requests attempted (`rounds × streams` of the spec).
     pub rounds: u32,
     /// End-to-end fidelities of successful rounds.
     pub fidelity: RunningStats,
@@ -119,13 +175,13 @@ pub struct ScenarioStats {
     pub name: String,
     /// Runs merged (one per seed).
     pub runs: u32,
-    /// Successful rounds across runs.
+    /// Requests that delivered end-to-end entanglement, across runs.
     pub successes: u32,
-    /// Rounds attempted across runs.
+    /// Requests attempted across runs (`rounds × streams` per run).
     pub rounds: u32,
-    /// End-to-end fidelity across successful rounds.
+    /// End-to-end fidelity across delivered requests.
     pub fidelity: RunningStats,
-    /// End-to-end latency (seconds) across successful rounds.
+    /// End-to-end latency (seconds) across delivered requests.
     pub latency_s: RunningStats,
     /// Total events fired across runs.
     pub events: u64,
@@ -143,7 +199,7 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Total successful rounds across every scenario.
+    /// Total delivered requests across every scenario.
     pub fn total_successes(&self) -> u32 {
         self.scenarios.iter().map(|s| s.successes).sum()
     }
@@ -152,25 +208,47 @@ impl SweepReport {
 /// Executes one (scenario, seed) cell of the matrix.
 pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
     let mut net = Network::new(spec.topology(seed), seed);
+    match spec.metric {
+        MetricChoice::Hops => net.set_route_metric(HopCount),
+        MetricChoice::Latency => net.set_route_metric(Latency),
+        MetricChoice::Fidelity => net.set_route_metric(FidelityProduct),
+    }
     let dst = spec.nodes - 1;
+    let streams = spec.streams.max(1);
     let mut record = RunRecord {
         scenario: 0,
         seed,
         successes: 0,
-        rounds: spec.rounds,
+        rounds: spec.rounds * streams,
         fidelity: RunningStats::new(),
         latency_s: RunningStats::new(),
         events: 0,
     };
     for _ in 0..spec.rounds {
-        let request = net.request_entanglement(0, dst, spec.fmin);
-        match net.run_until_outcome(spec.max_time) {
-            Some(out) => {
-                record.successes += 1;
-                record.fidelity.push(out.end_to_end_fidelity);
-                record.latency_s.push(out.latency.as_secs_f64());
+        let requests = if streams == 1 {
+            vec![net.request_entanglement(0, dst, spec.fmin)]
+        } else {
+            net.request_entanglement_multipath(0, dst, spec.fmin, streams as usize)
+        };
+        // One shared time budget per round, however many streams.
+        let deadline = net.now() + spec.max_time;
+        let mut delivered = 0;
+        while delivered < requests.len() {
+            let left = deadline.saturating_since(net.now());
+            if left == SimDuration::ZERO {
+                break;
             }
-            None => net.cancel_request(request),
+            let Some(out) = net.run_until_outcome(left) else {
+                break;
+            };
+            delivered += 1;
+            record.successes += 1;
+            record.fidelity.push(out.end_to_end_fidelity);
+            record.latency_s.push(out.latency.as_secs_f64());
+        }
+        // Cancel whatever did not make the budget (no-op when done).
+        for request in requests {
+            net.cancel_request(request);
         }
     }
     record.events = net.events_fired();

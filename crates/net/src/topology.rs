@@ -200,50 +200,69 @@ impl Topology {
     }
 
     /// Shortest path (fewest hops) from `src` to `dst` as a node
-    /// sequence, or `None` if disconnected. Ties prefer
-    /// lower-numbered neighbours, so routing is deterministic.
+    /// sequence, or `None` if disconnected. Equal-length ties break
+    /// deterministically (nodes settle in `(distance, index)` order),
+    /// so routing is a pure function of the topology.
+    ///
+    /// This is the unit-cost case of the route engine; use
+    /// [`crate::route::RoutePlanner`] for latency- or fidelity-aware
+    /// metrics over the same search.
     ///
     /// # Panics
     /// Panics on out-of-range nodes or `src == dst`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qlink_net::topology::Topology;
+    /// use qlink_sim::config::LinkConfig;
+    /// use qlink_sim::workload::WorkloadSpec;
+    ///
+    /// let topo = Topology::chain(4, |i| LinkConfig::lab(WorkloadSpec::none(), i as u64));
+    /// assert_eq!(topo.shortest_path(0, 3), Some(vec![0, 1, 2, 3]));
+    /// assert_eq!(topo.path_edges(&[0, 1, 2, 3]), vec![0, 1, 2]);
+    /// ```
     pub fn shortest_path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
-        assert!(
-            src < self.nodes.len() && dst < self.nodes.len(),
-            "unknown node"
-        );
-        assert_ne!(src, dst, "src == dst");
-        let mut prev: Vec<Option<usize>> = vec![None; self.nodes.len()];
-        let mut visited = vec![false; self.nodes.len()];
-        let mut frontier = std::collections::VecDeque::new();
-        visited[src] = true;
-        frontier.push_back(src);
-        while let Some(n) = frontier.pop_front() {
-            if n == dst {
-                break;
-            }
-            let mut neighbours: Vec<usize> = self
-                .edges_at(n)
-                .iter()
-                .map(|&e| self.edges[e].other(n))
-                .collect();
-            neighbours.sort_unstable();
-            for m in neighbours {
-                if !visited[m] {
-                    visited[m] = true;
-                    prev[m] = Some(n);
-                    frontier.push_back(m);
-                }
-            }
-        }
-        if !visited[dst] {
-            return None;
-        }
-        let mut path = vec![dst];
-        while let Some(p) = prev[*path.last().unwrap()] {
-            path.push(p);
-        }
-        path.reverse();
-        debug_assert_eq!(path[0], src);
-        Some(path)
+        crate::route::dijkstra(self, src, dst, &|_| 1.0, None).map(|r| r.nodes)
+    }
+
+    /// Up to `k` loopless fewest-hop paths from `src` to `dst`, in
+    /// non-decreasing hop count (Yen's algorithm over unit costs).
+    /// Fewer than `k` paths are returned when the graph has fewer
+    /// simple paths. Metric-aware variants live on
+    /// [`crate::route::RoutePlanner::k_shortest_paths`].
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes, `src == dst`, or `k == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qlink_net::topology::Topology;
+    /// use qlink_sim::config::LinkConfig;
+    /// use qlink_sim::workload::WorkloadSpec;
+    ///
+    /// // A diamond: 0-1-3 and the 0-2-3 alternative.
+    /// let mut topo = Topology::new();
+    /// for _ in 0..4 {
+    ///     topo.add_node();
+    /// }
+    /// let lab = |seed| LinkConfig::lab(WorkloadSpec::none(), seed);
+    /// topo.connect(0, 1, lab(1));
+    /// topo.connect(1, 3, lab(2));
+    /// topo.connect(0, 2, lab(3));
+    /// topo.connect(2, 3, lab(4));
+    ///
+    /// let paths = topo.k_shortest_paths(0, 3, 3);
+    /// assert_eq!(paths.len(), 2);
+    /// assert_eq!(paths[0], vec![0, 1, 3]);
+    /// assert_eq!(paths[1], vec![0, 2, 3]);
+    /// ```
+    pub fn k_shortest_paths(&self, src: usize, dst: usize, k: usize) -> Vec<Vec<usize>> {
+        crate::route::yen(self, src, dst, k, &|_| 1.0)
+            .into_iter()
+            .map(|r| r.nodes)
+            .collect()
     }
 
     /// The edge indices along a node path.
@@ -299,6 +318,19 @@ mod tests {
 
         let star = Topology::star(3, |i| lab(i as u64));
         assert_eq!(star.shortest_path(1, 3), Some(vec![1, 0, 3]));
+    }
+
+    #[test]
+    fn k_shortest_paths_enumerates_alternatives() {
+        // Chain 0-1-2-3 closed into a ring by a direct 0-3 edge.
+        let mut t = Topology::chain(4, |i| lab(i as u64));
+        t.connect(0, 3, lab(9));
+        let paths = t.k_shortest_paths(0, 3, 5);
+        assert_eq!(paths.len(), 2, "a ring has two simple paths");
+        assert_eq!(paths[0], vec![0, 3]);
+        assert_eq!(paths[1], vec![0, 1, 2, 3]);
+        // k = 1 returns just the shortest.
+        assert_eq!(t.k_shortest_paths(0, 3, 1), vec![vec![0, 3]]);
     }
 
     #[test]

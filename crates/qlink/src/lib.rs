@@ -85,7 +85,10 @@ pub mod prelude {
     pub use crate::des::{DetRng, SimDuration, SimTime};
     pub use crate::net::chain::RepeaterChain;
     pub use crate::net::network::{EndToEndOutcome, Network};
-    pub use crate::net::sweep::{sweep, ScenarioSpec, SweepReport};
+    pub use crate::net::route::{
+        EdgeProfile, FidelityProduct, HopCount, Latency, Route, RouteMetric, RoutePlanner,
+    };
+    pub use crate::net::sweep::{sweep, MetricChoice, ScenarioSpec, SweepReport};
     pub use crate::net::topology::Topology;
     pub use crate::phys::params::{Scenario, ScenarioParams};
     pub use crate::quantum::bell::{bell_fidelity, BellState, Qber};

@@ -33,6 +33,30 @@ pub struct ChainOutcome {
 }
 
 /// A chain of independently simulated links joined by swapping.
+///
+/// # Migration to `qlink_net::chain::RepeaterChain`
+///
+/// The `qlink-net` replacement keeps this type's surface — build from
+/// per-hop [`LinkConfig`]s, ask for one end-to-end pair at a time —
+/// so migrating is a one-line import change:
+///
+/// ```text
+/// - use qlink_sim::chain::RepeaterChain;   // or qlink::sim::chain::
+/// + use qlink_net::chain::RepeaterChain;   // or qlink::prelude::
+/// ```
+///
+/// Behavioural differences to expect:
+///
+/// * hops run on **one shared event queue** (a single `SimTime`
+///   stream) instead of independent queues in 500 ms lock-step
+///   slices;
+/// * intermediate nodes swap the instant both their pairs exist
+///   (SWAP-ASAP), and Bell-measurement outcomes travel classical
+///   control channels with real propagation delay;
+/// * `ChainOutcome::generation_time` reports the true simulated
+///   CREATE→frame-fixed latency, not the slowest link's delivery
+///   time, so latencies are slightly longer and fidelities slightly
+///   lower (the pair decays until the ends learn their Pauli frame).
 #[deprecated(
     since = "0.1.0",
     note = "use qlink_net::chain::RepeaterChain: all links on one shared event queue under SWAP-ASAP control"

@@ -1,0 +1,278 @@
+//! Integration tests for the route-metric engine and concurrent
+//! multi-path requests: metric-dependent path choice on a diamond,
+//! edge-disjoint splitting of same-pair requests, and deterministic
+//! contention when concurrent requests share an edge.
+
+use qlink::net::sweep::run_one;
+use qlink::net::MetricChoice;
+use qlink::prelude::*;
+
+fn lab(seed: u64) -> LinkConfig {
+    LinkConfig::lab(WorkloadSpec::none(), seed)
+}
+
+/// A Lab link degraded far below spec: poor photon
+/// indistinguishability, frequent double emissions, triple the phase
+/// noise, and a lossy electron–carbon gate. Its FEU keep-fidelity
+/// profile (~0.46) sits below the *product* of two clean Lab links
+/// (~0.72² ≈ 0.52), which is exactly the regime where fidelity-aware
+/// routing must prefer more, cleaner hops.
+fn noisy_lab(seed: u64) -> LinkConfig {
+    let mut cfg = lab(seed);
+    cfg.scenario.optics.visibility = 0.4;
+    cfg.scenario.optics.two_photon_prob = 0.2;
+    cfg.scenario.optics.phase_sigma_rad *= 3.0;
+    cfg.scenario.nv.ec_sqrt_x.fidelity = 0.9;
+    cfg
+}
+
+/// Diamond with a short noisy arm and a long clean arm:
+///
+/// ```text
+///     1            short arm 0-1-4: two noisy hops
+///    / \
+///   0   4
+///    \ /
+///     2---3        long arm 0-2-3-4: three clean hops
+/// ```
+fn short_noisy_long_clean_diamond() -> Topology {
+    let mut t = Topology::new();
+    for _ in 0..5 {
+        t.add_node();
+    }
+    t.connect(0, 1, noisy_lab(10));
+    t.connect(1, 4, noisy_lab(11));
+    t.connect(0, 2, lab(12));
+    t.connect(2, 3, lab(13));
+    t.connect(3, 4, lab(14));
+    t
+}
+
+#[test]
+fn fidelity_product_prefers_the_long_clean_arm() {
+    let topo = short_noisy_long_clean_diamond();
+
+    // The planner's per-edge profiles are where the decision comes
+    // from: the degraded links must profile well below the clean ones.
+    let planner = RoutePlanner::new(&topo);
+    let noisy_f = planner.profile(0).fidelity;
+    let clean_f = planner.profile(2).fidelity;
+    assert!(
+        noisy_f < clean_f * clean_f,
+        "noisy {noisy_f} must be below clean² {}",
+        clean_f * clean_f
+    );
+
+    // Hop count routes through the short noisy arm...
+    let hops = planner
+        .shortest_path(&topo, 0, 4, &HopCount, 0.4)
+        .expect("connected");
+    assert_eq!(hops.nodes, vec![0, 1, 4]);
+
+    // ...while the fidelity product pays the extra hop for the clean
+    // links: 0.72³ ≈ 0.37 beats 0.46² ≈ 0.21.
+    let fid = planner
+        .shortest_path(&topo, 0, 4, &FidelityProduct, 0.4)
+        .expect("connected");
+    assert_eq!(fid.nodes, vec![0, 2, 3, 4]);
+    assert!(fid.cost > 0.0);
+
+    // The same choice drives Network::request_entanglement.
+    let mut net = Network::new(topo, 9);
+    net.set_route_metric(FidelityProduct);
+    assert_eq!(net.route_metric().name(), "fidelity");
+    let route = net.plan_route(0, 4, 0.4).expect("route exists");
+    assert_eq!(route.nodes, vec![0, 2, 3, 4]);
+}
+
+#[test]
+fn fmin_filter_drops_edges_that_would_unsupp() {
+    let topo = short_noisy_long_clean_diamond();
+    let planner = RoutePlanner::new(&topo);
+    let noisy_ceiling = planner.profile(0).fidelity_ceiling;
+    let clean_ceiling = planner.profile(2).fidelity_ceiling;
+    assert!(noisy_ceiling < 0.5 && clean_ceiling > 0.6);
+
+    // At Fmin 0.6 the noisy arm cannot serve at all: the planner's
+    // feasibility filter removes its edges for *every* metric, so even
+    // hop-count routing falls through to the clean arm.
+    for metric in [&HopCount as &dyn RouteMetric, &Latency] {
+        let route = planner
+            .shortest_path(&topo, 0, 4, metric, 0.6)
+            .expect("clean arm serves 0.6");
+        assert_eq!(route.nodes, vec![0, 2, 3, 4], "{}", metric.name());
+    }
+
+    // Above every ceiling there is no route under a profile metric.
+    assert!(planner
+        .shortest_path(&topo, 0, 4, &FidelityProduct, 0.95)
+        .is_none());
+
+    // The Network's default hop-count routing honours the same filter:
+    // a CREATE the noisy arm would UNSUPP must never be routed there.
+    let mut net = Network::new(topo, 1);
+    let route = net.plan_route(0, 4, 0.6).expect("the clean arm serves");
+    assert_eq!(route.nodes, vec![0, 2, 3, 4]);
+}
+
+#[test]
+fn concurrent_same_pair_requests_split_over_disjoint_paths() {
+    // Symmetric diamond: two clean 2-hop arms between 0 and 3.
+    let mut topo = Topology::new();
+    for _ in 0..4 {
+        topo.add_node();
+    }
+    topo.connect(0, 1, lab(21));
+    topo.connect(1, 3, lab(22));
+    topo.connect(0, 2, lab(23));
+    topo.connect(2, 3, lab(24));
+
+    let mut net = Network::new(topo, 5);
+    let requests = net.request_entanglement_multipath(0, 3, 0.6, 2);
+    assert_eq!(requests.len(), 2);
+
+    // Both arms reserved, no edge shared: every edge carries exactly
+    // one request, and the shared ends carry both.
+    for edge in 0..4 {
+        assert_eq!(net.edge_load(edge), 1, "edge {edge}");
+    }
+    assert_eq!(net.node(0).active_requests(), requests);
+    assert_eq!(net.node(1).active_paths(), 1);
+    assert_eq!(net.node(2).active_paths(), 1);
+
+    let first = net
+        .run_until_outcome(SimDuration::from_secs(60))
+        .expect("first stream delivers");
+    let second = net
+        .run_until_outcome(SimDuration::from_secs(60))
+        .expect("second stream delivers");
+
+    let mut paths = [first.path.clone(), second.path.clone()];
+    paths.sort();
+    assert_eq!(paths[0], vec![0, 1, 3]);
+    assert_eq!(paths[1], vec![0, 2, 3]);
+    for out in [&first, &second] {
+        assert_eq!(out.swaps, 1);
+        assert!(out.end_to_end_fidelity > 0.25);
+        assert!(out.latency > SimDuration::ZERO);
+    }
+    for edge in 0..4 {
+        assert_eq!(net.edge_load(edge), 0, "load released on completion");
+    }
+}
+
+#[test]
+fn multipath_widens_past_equal_length_sharing_routes() {
+    // Three simple paths 0 -> 5, by cost: A = 0-1-2-5 (3 hops),
+    // B = 0-1-3-5 (3 hops, shares edge 0-1 with A), C = 0-4-6-7-5
+    // (4 hops, disjoint from A). The first two candidates are A and B,
+    // so a planner that only looks at `streams` candidates would pile
+    // both streams onto A; the widening search must find {A, C}.
+    let mut t = Topology::new();
+    for _ in 0..8 {
+        t.add_node();
+    }
+    t.connect(0, 1, lab(40)); // e0, shared by A and B
+    t.connect(1, 2, lab(41)); // e1, A
+    t.connect(2, 5, lab(42)); // e2, A
+    t.connect(1, 3, lab(43)); // e3, B only
+    t.connect(3, 5, lab(44)); // e4, B only
+    t.connect(0, 4, lab(45)); // e5, C
+    t.connect(4, 6, lab(46)); // e6, C
+    t.connect(6, 7, lab(47)); // e7, C
+    t.connect(7, 5, lab(48)); // e8, C
+
+    let mut net = Network::new(t, 3);
+    let requests = net.request_entanglement_multipath(0, 5, 0.6, 2);
+    assert_eq!(requests.len(), 2);
+    // A and C are reserved once each; B's exclusive edges stay idle.
+    for e in [0, 1, 2, 5, 6, 7, 8] {
+        assert_eq!(net.edge_load(e), 1, "edge {e} carries one stream");
+    }
+    for e in [3, 4] {
+        assert_eq!(net.edge_load(e), 0, "B's edge {e} must stay unused");
+    }
+    for r in requests {
+        net.cancel_request(r);
+    }
+    assert!((0..9).all(|e| net.edge_load(e) == 0));
+}
+
+#[test]
+fn shared_edge_contention_completes_deterministically() {
+    // Two concurrent requests between the same ends of a 3-node chain:
+    // every edge is shared, so each link's EGP serves two outstanding
+    // CREATEs and the SWAP-ASAP repeater interleaves two reservations.
+    let run = || {
+        let topo = Topology::chain(3, |i| lab(31 + i as u64));
+        let mut net = Network::new(topo, 77);
+        let requests = net.request_entanglement_multipath(0, 2, 0.6, 2);
+        assert_eq!(requests.len(), 2);
+        assert_eq!(net.edge_load(0), 2, "both requests share edge 0");
+        assert_eq!(net.edge_load(1), 2);
+        assert_eq!(net.node(1).reserved_on_edge(0), 2);
+
+        let mut outs = Vec::new();
+        for _ in 0..2 {
+            outs.push(
+                net.run_until_outcome(SimDuration::from_secs(120))
+                    .expect("contended request still completes"),
+            );
+        }
+        assert_eq!(net.edge_load(0), 0);
+        assert_eq!(net.edge_load(1), 0);
+        outs
+    };
+
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), 2);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.request, y.request);
+        assert_eq!(x.path, vec![0, 1, 2]);
+        assert_eq!(
+            x.end_to_end_fidelity.to_bits(),
+            y.end_to_end_fidelity.to_bits(),
+            "same seed, same fidelity, bit for bit"
+        );
+        assert_eq!(x.latency, y.latency);
+        assert!(x.end_to_end_fidelity > 0.25);
+    }
+    // The two deliveries are distinct events at distinct times.
+    assert_ne!(a[0].delivered_at, a[1].delivered_at);
+}
+
+#[test]
+fn infeasible_fmin_times_out_instead_of_panicking() {
+    // An Fmin above every FEU ceiling must degrade exactly like the
+    // link layer's own UNSUPP path: best-effort route reserved, no
+    // delivery, graceful timeout — never a panic (a sweep worker
+    // panicking would abort the whole matrix).
+    let mut chain = RepeaterChain::new(vec![lab(61)]);
+    let out = chain.generate_end_to_end(0.95, SimDuration::from_millis(10));
+    assert!(out.is_none(), "unachievable Fmin must yield None");
+
+    let mut spec = ScenarioSpec::lab_chain("unsupp", 3).with_max_time(SimDuration::from_millis(10));
+    spec.fmin = 0.95;
+    let record = run_one(&spec, 1);
+    assert_eq!(record.successes, 0);
+    assert_eq!(record.rounds, 1);
+}
+
+#[test]
+fn sweep_streams_and_metric_are_deterministic() {
+    // The sweep driver carries metric + streams through run_one; a
+    // 2-stream round on a chain shares every edge and still merges
+    // deterministically.
+    let spec = ScenarioSpec::lab_chain("contended", 3)
+        .with_max_time(SimDuration::from_secs(120))
+        .with_metric(MetricChoice::Fidelity)
+        .with_streams(2);
+    let a = run_one(&spec, 3);
+    let b = run_one(&spec, 3);
+    assert_eq!(a.rounds, 2, "one round x two streams");
+    assert_eq!(a.successes, b.successes);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.fidelity.mean().to_bits(), b.fidelity.mean().to_bits());
+    assert!(a.successes >= 1, "at least one stream completes");
+}
