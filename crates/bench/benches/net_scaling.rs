@@ -10,6 +10,9 @@
 //! * `route/*` — routing overhead on a grid: requests/second of pure
 //!   path computation for unit-cost Dijkstra (PR 1's BFS
 //!   equivalent), profile-aware Dijkstra, and Yen K-shortest-paths.
+//! * `purify/*` — simulation cost of the purification policies: one
+//!   delivered end-to-end pair on a 3-node long-memory chain under
+//!   Off vs LinkLevel (double pairs + parity exchanges per edge).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qlink::net::route::{FidelityProduct, HopCount, Latency, RoutePlanner};
@@ -72,6 +75,33 @@ fn bench_chain_scaling(c: &mut Criterion) {
     }
 }
 
+fn bench_purify_policies(c: &mut Criterion) {
+    for policy in [PurifyPolicy::Off, PurifyPolicy::LinkLevel] {
+        let spec = ScenarioSpec::lab_chain(policy.name(), 3)
+            .with_max_time(SimDuration::from_secs(60))
+            .with_carbon_t2(10.0)
+            .with_purify(policy);
+        // Orientation line: the fidelity-vs-pair-cost tradeoff of the
+        // exact scenario the bench below measures.
+        let r = run_one(&spec, 1);
+        println!(
+            "purify {:<11}: {}/{} delivered, mean F = {:.4}, pairs/delivery = {:.1}",
+            policy.name(),
+            r.successes,
+            r.rounds,
+            r.fidelity.mean(),
+            r.pairs_consumed as f64 / r.successes.max(1) as f64,
+        );
+        c.bench_function(&format!("purify/end_to_end_2hop_{}", policy.name()), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_one(black_box(&spec), seed))
+            })
+        });
+    }
+}
+
 fn bench_routing_overhead(c: &mut Criterion) {
     let topo = grid(6);
     let (src, dst) = (0, topo.node_count() - 1);
@@ -105,6 +135,6 @@ fn bench_routing_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_chain_scaling, bench_routing_overhead
+    targets = bench_chain_scaling, bench_routing_overhead, bench_purify_policies
 }
 criterion_main!(benches);

@@ -27,6 +27,12 @@
 //!   pairs exist on both their path edges, ends collect Bell-outcome
 //!   frames; composition applies the exact simulated memory decay via
 //!   [`qlink_quantum::ops::entanglement_swap`];
+//! * [`purify`](mod@purify) — purification policies: 2→1 DEJMPS
+//!   distillation ([`qlink_quantum::purify`]) scheduled as a
+//!   first-class protocol rule, per link (two pairs per path edge
+//!   distilled before swapping) or end-to-end (two concurrent streams
+//!   merged by the path ends), with the parity bits crossing the real
+//!   classical control channels;
 //! * [`chain`] — the repeater-chain convenience wrapper (successor of
 //!   the deprecated `qlink_sim::chain::RepeaterChain`);
 //! * [`sweep`](mod@sweep) — the parallel scenario-sweep driver: a scenario × seed
@@ -36,6 +42,7 @@
 pub mod chain;
 pub mod network;
 pub mod node;
+pub mod purify;
 pub mod route;
 pub mod sweep;
 pub mod topology;
@@ -43,6 +50,7 @@ pub mod topology;
 pub use chain::RepeaterChain;
 pub use network::{EndToEndOutcome, Network, TraceEntry, TraceKind};
 pub use node::{NodeAction, PathRole, SwapAsapNode};
+pub use purify::PurifyPolicy;
 pub use route::{
     EdgeProfile, FidelityProduct, HopCount, Latency, Route, RouteMetric, RoutePlanner,
 };

@@ -31,11 +31,13 @@
 //! (tracked per edge by [`Network::edge_load`]).
 
 use crate::node::{NodeAction, PathRole, SwapAsapNode};
+use crate::purify::PurifyPolicy;
 use crate::route::{HopCount, Route, RouteMetric, RoutePlanner};
 use crate::topology::Topology;
 use qlink_des::{DetRng, EventQueue, SimDuration, SimTime};
 use qlink_quantum::bell::{bell_fidelity, werner_from_fidelity, BellState};
 use qlink_quantum::ops::entanglement_swap;
+use qlink_quantum::purify::distill_werner;
 use qlink_quantum::{channels, gates, QuantumState};
 use qlink_sim::config::RequestKind;
 use qlink_sim::link::{Delivery, LinkSimulation};
@@ -56,6 +58,17 @@ enum ControlMsg {
         z: u8,
         x: u8,
     },
+    /// The partner's parity bit of a link-level 2→1 distillation on
+    /// `edge`: `accepted` when the two measured bits agreed.
+    PurifyResult {
+        request: u64,
+        edge: usize,
+        accepted: bool,
+    },
+    /// The far end's parity bit of an end-to-end distillation between
+    /// the two streams of `group` (travels the whole path's control
+    /// channels; scheduled with the summed path delay).
+    GroupResult { group: u64, accepted: bool },
 }
 
 /// An event on the shared network queue.
@@ -78,6 +91,8 @@ pub enum TraceKind {
     Delivery(usize),
     /// A repeater performed its Bell-state measurement.
     Swap(usize),
+    /// Two pairs on an edge were measured for 2→1 distillation.
+    Purify(usize),
     /// An end-to-end request completed.
     Complete(u64),
 }
@@ -119,6 +134,24 @@ pub struct EndToEndOutcome {
     /// Accumulated Pauli-X parity; already applied, see
     /// [`EndToEndOutcome::frame_z`].
     pub frame_x: u8,
+    /// `true` when this pair is the survivor of a 2→1 distillation
+    /// (link-level purification boosts the figures in
+    /// [`EndToEndOutcome::link_fidelities`] instead and leaves this
+    /// `false`; end-to-end purification merges two whole streams and
+    /// sets it).
+    pub distilled: bool,
+    /// Link pairs the link layers delivered to produce this outcome —
+    /// 1 per edge without purification, 2 per distillation attempt
+    /// (rejected parities included) with it. The pair cost of the
+    /// delivered fidelity.
+    pub pairs_consumed: u32,
+    /// Raw delivered fidelity of every link pair per path edge, in
+    /// delivery order — under link-level purification these are the
+    /// *inputs* to the per-edge distillations whose outputs appear in
+    /// [`EndToEndOutcome::link_fidelities`]. Without purification each
+    /// edge has exactly one entry, equal to its `link_fidelities`
+    /// figure.
+    pub pair_fidelities: Vec<Vec<f64>>,
 }
 
 /// One contiguous entangled segment of a path (initially one link
@@ -170,6 +203,50 @@ struct PathRequest {
     ends_ready: [Option<SimTime>; 2],
     frame: (u8, u8),
     swaps: u32,
+    /// Edges distill two pairs into one before swapping.
+    link_purify: bool,
+    /// Per path-edge position: a distillation has consumed this edge's
+    /// pairs and its parity exchange is in flight (or succeeded —
+    /// cleared only by a reject, which regenerates).
+    purify_pending: Vec<bool>,
+    /// Raw delivered fidelities per path-edge position.
+    pair_fidelities: Vec<Vec<f64>>,
+    /// Link pairs delivered for this request so far.
+    pairs_consumed: u32,
+    /// End-to-end distillation group this stream belongs to.
+    group: Option<u64>,
+}
+
+/// One completed stream of an end-to-end distillation group, parked
+/// (still decaying) until its partner completes.
+#[derive(Debug)]
+struct GroupMember {
+    segment: Segment,
+    path: Vec<usize>,
+    link_fidelities: Vec<f64>,
+    pair_fidelities: Vec<Vec<f64>>,
+    swaps: u32,
+    frame: (u8, u8),
+}
+
+/// An end-to-end 2→1 distillation in progress: two concurrent streams
+/// whose delivered pairs the path ends merge into one.
+#[derive(Debug)]
+struct PairGroup {
+    /// Current live (or just-completed) member request ids.
+    members: [u64; 2],
+    /// The node paths the two streams run on (kept for regeneration
+    /// after a rejected parity).
+    routes: [Vec<usize>; 2],
+    fmin: f64,
+    requested_at: SimTime,
+    done: Vec<GroupMember>,
+    /// Swaps and pairs across every attempt, rejected ones included.
+    swaps: u32,
+    pairs_consumed: u32,
+    /// Whether member streams purify their edges — pinned at group
+    /// creation so regeneration ignores later policy changes.
+    link_purify: bool,
 }
 
 /// A multi-node quantum network on one shared event queue.
@@ -180,14 +257,20 @@ pub struct Network {
     queue: EventQueue<NetEvent>,
     wake_gen: Vec<u64>,
     rng: DetRng,
+    purify_rng: DetRng,
     requests: HashMap<u64, PathRequest>,
+    groups: HashMap<u64, PairGroup>,
     pending_creates: HashMap<(usize, usize, u16), u64>,
     next_request: u64,
     outcomes: Vec<EndToEndOutcome>,
     trace: Option<Vec<TraceEntry>>,
     metric: Box<dyn RouteMetric + Send>,
+    purify: PurifyPolicy,
     planner: Option<RoutePlanner>,
     edge_load: Vec<u32>,
+    edge_pairs_delivered: Vec<u64>,
+    edge_purify_attempts: Vec<u64>,
+    edge_purify_successes: Vec<u64>,
     /// Total simulated time this network has been run for.
     pub elapsed: SimDuration,
 }
@@ -218,16 +301,22 @@ impl Network {
         let mut net = Network {
             wake_gen: vec![0; links.len()],
             edge_load: vec![0; links.len()],
+            edge_pairs_delivered: vec![0; links.len()],
+            edge_purify_attempts: vec![0; links.len()],
+            edge_purify_successes: vec![0; links.len()],
             links,
             nodes,
             queue: EventQueue::new(),
             rng: DetRng::new(seed).substream("net/swap"),
+            purify_rng: DetRng::new(seed).substream("net/purify"),
             requests: HashMap::new(),
+            groups: HashMap::new(),
             pending_creates: HashMap::new(),
             next_request: 0,
             outcomes: Vec::new(),
             trace: None,
             metric: Box::new(HopCount),
+            purify: PurifyPolicy::Off,
             planner: None,
             elapsed: SimDuration::ZERO,
             topo,
@@ -290,6 +379,42 @@ impl Network {
         self.metric.as_ref()
     }
 
+    /// Selects the purification policy for subsequent requests:
+    /// [`PurifyPolicy::LinkLevel`] makes every path edge distill two
+    /// delivered pairs into one before it may be swapped (and prices
+    /// routes with the purified edge figures);
+    /// [`PurifyPolicy::EndToEnd`] makes
+    /// [`Network::request_entanglement`] run two concurrent streams
+    /// and distill their delivered end-to-end pairs into one. The
+    /// default is [`PurifyPolicy::Off`].
+    ///
+    /// In-flight requests keep the policy they were issued under.
+    pub fn set_purify_policy(&mut self, policy: PurifyPolicy) {
+        self.purify = policy;
+    }
+
+    /// The purification policy applied to new requests.
+    pub fn purify_policy(&self) -> PurifyPolicy {
+        self.purify
+    }
+
+    /// Total NL pairs the link layer has delivered on edge `edge` for
+    /// network requests (the raw pair cost purification spends).
+    pub fn pairs_delivered(&self, edge: usize) -> u64 {
+        self.edge_pairs_delivered[edge]
+    }
+
+    /// Link-level 2→1 distillations attempted on edge `edge`.
+    pub fn purify_attempts(&self, edge: usize) -> u64 {
+        self.edge_purify_attempts[edge]
+    }
+
+    /// Link-level distillations on edge `edge` whose parity check
+    /// agreed (the pair survived, boosted).
+    pub fn purify_successes(&self, edge: usize) -> u64 {
+        self.edge_purify_successes[edge]
+    }
+
     /// Number of in-flight path reservations crossing edge `edge` —
     /// the contention the EGP's distributed queue is arbitrating there
     /// (it serves multiple outstanding CREATEs in queue order).
@@ -313,7 +438,15 @@ impl Network {
             self.planner = Some(RoutePlanner::new(&self.topo));
         }
         let planner = self.planner.as_ref().expect("planner just built");
-        planner.k_shortest_paths(&self.topo, src, dst, k, self.metric.as_ref(), fmin)
+        planner.k_shortest_paths_with(
+            &self.topo,
+            src,
+            dst,
+            k,
+            self.metric.as_ref(),
+            fmin,
+            self.purify,
+        )
     }
 
     /// The single best route under the current metric, or `None` if no
@@ -368,6 +501,9 @@ impl Network {
     /// assert!(out.end_to_end_fidelity > 0.25);
     /// ```
     pub fn request_entanglement(&mut self, src: usize, dst: usize, fmin: f64) -> u64 {
+        if self.purify == PurifyPolicy::EndToEnd {
+            return self.request_entanglement_distilled(src, dst, fmin);
+        }
         let route = self
             .plan_route(src, dst, fmin)
             // No serving path: reserve the best-effort route and let
@@ -375,6 +511,45 @@ impl Network {
             .or_else(|| self.plan_route(src, dst, 0.0))
             .unwrap_or_else(|| panic!("no path from {src} to {dst}"));
         self.request_on_path(&route.nodes, fmin)
+    }
+
+    /// Requests one end-to-end pair produced by 2→1 distillation of
+    /// two concurrent streams (what [`Network::request_entanglement`]
+    /// issues under [`PurifyPolicy::EndToEnd`]): the streams split
+    /// over edge-disjoint routes where the topology has them, and when
+    /// both deliver, the path ends measure, exchange the parity bit
+    /// across the whole path's control channels, and either emit one
+    /// boosted pair or discard both and regenerate. The returned id
+    /// names the *group*; its [`EndToEndOutcome`] has
+    /// [`EndToEndOutcome::distilled`] set.
+    ///
+    /// # Panics
+    /// Panics if no path connects the nodes.
+    pub fn request_entanglement_distilled(&mut self, src: usize, dst: usize, fmin: f64) -> u64 {
+        let group = self.next_request;
+        self.next_request += 1;
+        let members = self.request_entanglement_multipath(src, dst, fmin, 2);
+        let members: [u64; 2] = [members[0], members[1]];
+        let mut routes: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        for (i, m) in members.iter().enumerate() {
+            let req = self.requests.get_mut(m).expect("member just issued");
+            req.group = Some(group);
+            routes[i] = req.path.clone();
+        }
+        self.groups.insert(
+            group,
+            PairGroup {
+                members,
+                routes,
+                fmin,
+                requested_at: self.queue.now(),
+                done: Vec::new(),
+                swaps: 0,
+                pairs_consumed: 0,
+                link_purify: self.purify == PurifyPolicy::LinkLevel,
+            },
+        );
+        group
     }
 
     /// Requests entanglement between the ends of an explicit node
@@ -386,6 +561,15 @@ impl Network {
     /// Panics if the path has fewer than two nodes or consecutive
     /// nodes are not connected.
     pub fn request_on_path(&mut self, path: &[usize], fmin: f64) -> u64 {
+        let link_purify = self.purify == PurifyPolicy::LinkLevel;
+        self.issue_on_path(path, fmin, link_purify)
+    }
+
+    /// [`Network::request_on_path`] with the edge-purification choice
+    /// pinned by the caller — group regeneration reissues streams
+    /// under the policy their group was *created* with, whatever the
+    /// network's current policy is.
+    fn issue_on_path(&mut self, path: &[usize], fmin: f64, link_purify: bool) -> u64 {
         assert!(path.len() >= 2, "a path needs two ends");
         let path = path.to_vec();
         let edges = self.topo.path_edges(&path);
@@ -413,7 +597,11 @@ impl Network {
                     right: edges[i],
                 }
             };
-            self.nodes[n].reserve(id, role);
+            if link_purify {
+                self.nodes[n].reserve_purified(id, role);
+            } else {
+                self.nodes[n].reserve(id, role);
+            }
         }
         self.requests.insert(
             id,
@@ -425,14 +613,19 @@ impl Network {
                 ends_ready: [None, None],
                 frame: (0, 0),
                 swaps: 0,
+                link_purify,
+                purify_pending: vec![false; edges.len()],
+                pair_fidelities: vec![Vec::new(); edges.len()],
+                pairs_consumed: 0,
+                group: None,
                 path,
                 edges,
             },
         );
 
-        // The source issues its CREATE now; downstream nodes issue
+        // The source issues its CREATE(s) now; downstream nodes issue
         // theirs when the reservation reaches them.
-        self.submit_nl(id, 0, fmin);
+        self.submit_edge_creates(id, 0, fmin);
         self.forward_reserve(id, 0);
         id
     }
@@ -537,8 +730,16 @@ impl Network {
     /// Abandons an in-flight request: releases the path reservation
     /// and stops matching its link deliveries. (The link layers may
     /// still serve the already-queued CREATEs; their pairs are then
-    /// simply discarded by the network layer.)
+    /// simply discarded by the network layer.) A group id from
+    /// [`Network::request_entanglement_distilled`] cancels both of the
+    /// group's streams and drops any parked pair.
     pub fn cancel_request(&mut self, request: u64) {
+        if let Some(group) = self.groups.remove(&request) {
+            for member in group.members {
+                self.cancel_request(member);
+            }
+            return;
+        }
         if let Some(req) = self.requests.remove(&request) {
             for &n in &req.path {
                 self.nodes[n].release(request);
@@ -606,12 +807,35 @@ impl Network {
                     } => {
                         self.on_swap_result(request, at, target, z, x, t);
                     }
+                    ControlMsg::PurifyResult {
+                        request,
+                        edge,
+                        accepted,
+                    } => {
+                        self.on_purify_result(request, at, edge, accepted, t);
+                    }
+                    ControlMsg::GroupResult { group, accepted } => {
+                        self.on_group_result(group, accepted, t);
+                    }
                 }
             }
         }
     }
 
-    /// Issues the NL CREATE for path edge position `pos` of `request`.
+    /// Issues every NL CREATE path edge position `pos` of `request`
+    /// needs: one pair normally, two under link-level purification.
+    fn submit_edge_creates(&mut self, request: u64, pos: usize, fmin: f64) {
+        let pairs = match self.requests.get(&request) {
+            Some(req) if req.link_purify => 2,
+            Some(_) => 1,
+            None => return,
+        };
+        for _ in 0..pairs {
+            self.submit_nl(request, pos, fmin);
+        }
+    }
+
+    /// Issues one NL CREATE for path edge position `pos` of `request`.
     fn submit_nl(&mut self, request: u64, pos: usize, fmin: f64) {
         let Some(req) = self.requests.get(&request) else {
             return;
@@ -667,7 +891,7 @@ impl Network {
             return;
         };
         let fmin = req.fmin;
-        self.submit_nl(request, pos, fmin);
+        self.submit_edge_creates(request, pos, fmin);
         self.forward_reserve(request, pos);
     }
 
@@ -694,7 +918,12 @@ impl Network {
             let Some(req) = self.requests.get_mut(&request) else {
                 return;
             };
+            req.pairs_consumed += 1;
+            self.edge_pairs_delivered[edge_idx] += 1;
             if let Some(pos) = req.edges.iter().position(|&e| e == edge_idx) {
+                req.pair_fidelities[pos].push(d.fidelity);
+                // Under link-level purification this is provisional:
+                // the distillation overwrites it with its output.
                 req.link_fidelities[pos] = Some(d.fidelity);
             }
             req.segments.push(Segment {
@@ -716,6 +945,7 @@ impl Network {
 
     fn apply_action(&mut self, node: usize, action: NodeAction, t: SimTime) {
         match action {
+            NodeAction::Purify { request, edge } => self.do_purify(request, edge, t),
             NodeAction::Swap { request, .. } => self.do_swap(node, request, t),
             NodeAction::EndReady {
                 request,
@@ -723,6 +953,129 @@ impl Network {
                 frame_x,
             } => self.on_end_ready(node, request, frame_z, frame_x, t),
         }
+    }
+
+    /// Executes a link-level 2→1 distillation on the quantum ledger:
+    /// consumes the edge's two pairs, draws the parity check from the
+    /// closed-form success probability of their Werner fidelities, and
+    /// sends each endpoint its partner's parity bit over the edge's
+    /// classical control channel. Both endpoints arm the rule in the
+    /// same delivery instant; the first arrival does the work and the
+    /// `purify_pending` latch absorbs the second.
+    fn do_purify(&mut self, request: u64, edge_idx: usize, t: SimTime) {
+        let (ea, eb) = {
+            let e = self.topo.edge(edge_idx);
+            (e.a, e.b)
+        };
+        // Phase 1: claim the rule and pull the edge's two pairs off
+        // the ledger.
+        let (pos, mut s1, mut s2) = {
+            let Some(req) = self.requests.get_mut(&request) else {
+                return;
+            };
+            let pos = req
+                .edges
+                .iter()
+                .position(|&e| e == edge_idx)
+                .expect("purify on an off-path edge");
+            if req.purify_pending[pos] {
+                return; // the other endpoint already ran it
+            }
+            req.purify_pending[pos] = true;
+            let on_edge = |s: &Segment| (s.a == ea && s.b == eb) || (s.a == eb && s.b == ea);
+            let i2 = req
+                .segments
+                .iter()
+                .rposition(on_edge)
+                .expect("purify without a second pair");
+            let s2 = req.segments.remove(i2);
+            let i1 = req
+                .segments
+                .iter()
+                .position(on_edge)
+                .expect("purify without a first pair");
+            debug_assert!(i1 < i2, "distinct pairs");
+            (pos, req.segments.remove(i1), s2)
+        };
+        // Phase 2: catch both memories up and distill in closed form —
+        // the network layer tracks pairs as Werner states, so each
+        // pair's current fidelity is read off the ledger (memory decay
+        // included) and fed to the DEJMPS formulas.
+        s1.decay_to(t);
+        s2.decay_to(t);
+        let f1 = bell_fidelity(&s1.state, (0, 1), BellState::PhiPlus).clamp(0.25, 1.0);
+        let f2 = bell_fidelity(&s2.state, (0, 1), BellState::PhiPlus).clamp(0.25, 1.0);
+        let out = distill_werner(f1, f2);
+        let accepted = self.purify_rng.bernoulli(out.success_probability);
+        self.edge_purify_attempts[edge_idx] += 1;
+        // Phase 3: on an agreeing parity the boosted pair replaces the
+        // two inputs; on a reject both are lost.
+        if accepted {
+            self.edge_purify_successes[edge_idx] += 1;
+            if let Some(req) = self.requests.get_mut(&request) {
+                req.link_fidelities[pos] = Some(out.output_fidelity);
+                req.segments.push(Segment {
+                    a: s1.a,
+                    b: s1.b,
+                    state: werner_from_fidelity(BellState::PhiPlus, out.output_fidelity),
+                    decay_a: s1.decay_a,
+                    decay_b: s1.decay_b,
+                    updated: t,
+                });
+            }
+        }
+        self.record(t, TraceKind::Purify(edge_idx));
+        // Each endpoint learns the verdict when the partner's parity
+        // bit crosses the edge's control channel.
+        let edge = self.topo.edge(edge_idx);
+        let delay = edge.control_delay;
+        for node in [edge.a, edge.b] {
+            self.queue.schedule_in(
+                delay,
+                NetEvent::Control {
+                    at: node,
+                    msg: ControlMsg::PurifyResult {
+                        request,
+                        edge: edge_idx,
+                        accepted,
+                    },
+                },
+            );
+        }
+    }
+
+    /// Delivers a link-level purification verdict to `at`: the node
+    /// machine advances (possibly unlocking a swap or completion), and
+    /// on a reject the edge's CREATE-issuing endpoint regenerates the
+    /// two pairs.
+    fn on_purify_result(
+        &mut self,
+        request: u64,
+        at: usize,
+        edge: usize,
+        accepted: bool,
+        t: SimTime,
+    ) {
+        if let Some(action) = self.nodes[at].on_purify_result(request, edge, accepted) {
+            self.apply_action(at, action, t);
+        }
+        if accepted {
+            return;
+        }
+        let Some(req) = self.requests.get_mut(&request) else {
+            return;
+        };
+        let Some(pos) = req.edges.iter().position(|&e| e == edge) else {
+            return;
+        };
+        // Only the endpoint that submits this edge's CREATEs restarts
+        // generation (its partner received the same verdict).
+        if req.path[pos] != at {
+            return;
+        }
+        req.purify_pending[pos] = false;
+        let fmin = req.fmin;
+        self.submit_edge_creates(request, pos, fmin);
     }
 
     /// Executes a repeater's entanglement swap on the quantum ledger
@@ -854,21 +1207,148 @@ impl Network {
         // The pair keeps decaying until the later end learned its
         // Pauli frame — only then is the entanglement usable.
         seg.decay_to(t);
+        let link_fidelities: Vec<f64> = req
+            .link_fidelities
+            .iter()
+            .map(|f| f.expect("complete path with missing link fidelity"))
+            .collect();
+        if let Some(group) = req.group {
+            self.on_member_complete(
+                group,
+                GroupMember {
+                    segment: seg,
+                    path: req.path,
+                    link_fidelities,
+                    pair_fidelities: req.pair_fidelities,
+                    swaps: req.swaps,
+                    frame: req.frame,
+                },
+                req.pairs_consumed,
+                t,
+            );
+            return;
+        }
         let fidelity = bell_fidelity(&seg.state, (0, 1), BellState::PhiPlus);
         self.outcomes.push(EndToEndOutcome {
             request,
-            link_fidelities: req
-                .link_fidelities
-                .iter()
-                .map(|f| f.expect("complete path with missing link fidelity"))
-                .collect(),
+            link_fidelities,
             end_to_end_fidelity: fidelity,
             latency: t.since(req.requested_at),
             delivered_at: t,
             swaps: req.swaps,
             frame_z: req.frame.0,
             frame_x: req.frame.1,
+            distilled: false,
+            pairs_consumed: req.pairs_consumed,
+            pair_fidelities: req.pair_fidelities,
             path: req.path,
+        });
+    }
+
+    /// One stream of an end-to-end distillation group completed: park
+    /// it (the pair keeps decaying in memory); when its partner is
+    /// also in, the path ends measure both pairs, and the parity bits
+    /// cross the full classical path before the verdict lands.
+    fn on_member_complete(
+        &mut self,
+        group: u64,
+        member: GroupMember,
+        pairs_consumed: u32,
+        t: SimTime,
+    ) {
+        let ready = {
+            let Some(g) = self.groups.get_mut(&group) else {
+                return; // group cancelled; the stream's pair is dropped
+            };
+            g.swaps += member.swaps;
+            g.pairs_consumed += pairs_consumed;
+            g.done.push(member);
+            g.done.len() == 2
+        };
+        if !ready {
+            return;
+        }
+        let (accepted, delay) = {
+            let g = self.groups.get_mut(&group).expect("group just updated");
+            let mut fids = [0.0; 2];
+            for (i, m) in g.done.iter_mut().enumerate() {
+                m.segment.decay_to(t);
+                fids[i] =
+                    bell_fidelity(&m.segment.state, (0, 1), BellState::PhiPlus).clamp(0.25, 1.0);
+            }
+            let out = distill_werner(fids[0], fids[1]);
+            let accepted = self.purify_rng.bernoulli(out.success_probability);
+            if accepted {
+                // The kept stream's pair becomes the distilled output.
+                let kept = &mut g.done[0];
+                kept.segment.state = werner_from_fidelity(BellState::PhiPlus, out.output_fidelity);
+                kept.segment.updated = t;
+            }
+            // The parity bit crosses every control channel of the
+            // (slower) path before the ends know the verdict.
+            let delay = g
+                .done
+                .iter()
+                .map(|m| self.topo.path_control_delay(&m.path))
+                .max()
+                .expect("two members");
+            (accepted, delay)
+        };
+        let at = self.groups[&group].done[0].path[0];
+        self.queue.schedule_in(
+            delay,
+            NetEvent::Control {
+                at,
+                msg: ControlMsg::GroupResult { group, accepted },
+            },
+        );
+    }
+
+    /// The verdict of an end-to-end distillation reached the ends: an
+    /// agreeing parity delivers the surviving boosted pair; a
+    /// disagreement discards both streams' pairs and regenerates both
+    /// streams on their routes.
+    fn on_group_result(&mut self, group: u64, accepted: bool, t: SimTime) {
+        if !accepted {
+            let Some(g) = self.groups.get_mut(&group) else {
+                return;
+            };
+            g.done.clear();
+            let routes = g.routes.clone();
+            let fmin = g.fmin;
+            let link_purify = g.link_purify;
+            let mut members = [0u64; 2];
+            for (i, route) in routes.iter().enumerate() {
+                members[i] = self.issue_on_path(route, fmin, link_purify);
+                self.requests
+                    .get_mut(&members[i])
+                    .expect("member just issued")
+                    .group = Some(group);
+            }
+            self.groups.get_mut(&group).expect("group survives").members = members;
+            return;
+        }
+        let Some(g) = self.groups.remove(&group) else {
+            return;
+        };
+        let mut kept = g.done.into_iter().next().expect("resolved group");
+        // The surviving pair decayed while the parity bits travelled.
+        kept.segment.decay_to(t);
+        let fidelity = bell_fidelity(&kept.segment.state, (0, 1), BellState::PhiPlus);
+        self.record(t, TraceKind::Complete(group));
+        self.outcomes.push(EndToEndOutcome {
+            request: group,
+            link_fidelities: kept.link_fidelities,
+            end_to_end_fidelity: fidelity,
+            latency: t.since(g.requested_at),
+            delivered_at: t,
+            swaps: g.swaps,
+            frame_z: kept.frame.0,
+            frame_x: kept.frame.1,
+            distilled: true,
+            pairs_consumed: g.pairs_consumed,
+            pair_fidelities: kept.pair_fidelities,
+            path: kept.path,
         });
     }
 }

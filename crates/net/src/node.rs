@@ -12,11 +12,24 @@
 //! its path edges exist; hence SWAP-ASAP, the greedy policy of the
 //! repeater literature, e.g. arXiv:2111.11332's chain demonstration).
 //!
+//! Under link-level purification (reservations made with
+//! [`SwapAsapNode::reserve_purified`]) an edge must deliver **two**
+//! pairs before it is usable: the second delivery arms the
+//! purification rule — the node emits [`NodeAction::Purify`], the
+//! local halves are measured, and the edge stays unusable until the
+//! partner's parity bit arrives over the classical control channel
+//! ([`SwapAsapNode::on_purify_result`]). An agreeing parity makes the
+//! edge ready (one boosted pair); a disagreeing one discards both
+//! pairs and the counting starts over. This is the RuleSet shape of
+//! Matsuo et al.: purification and swapping are both rules the same
+//! per-node machine schedules, purify strictly before swap.
+//!
 //! The node machines are pure decision logic: they never touch the
 //! event queue or the quantum ledger. The [`crate::network::Network`]
-//! feeds them observations (pair deliveries, swap-result messages) and
-//! executes the [`NodeAction`]s they emit, which keeps every quantum
-//! operation and every classical transmission on the shared clock.
+//! feeds them observations (pair deliveries, purify results,
+//! swap-result messages) and executes the [`NodeAction`]s they emit,
+//! which keeps every quantum operation and every classical
+//! transmission on the shared clock.
 
 use std::collections::HashMap;
 
@@ -43,7 +56,16 @@ pub enum PathRole {
 /// What a node decides to do in response to an observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeAction {
-    /// Repeater: both halves present — swap `left` and `right` now.
+    /// Purifying reservation: an edge holds its second pair — distill
+    /// the two into one (measure locally, exchange the parity bit).
+    Purify {
+        /// The request being served.
+        request: u64,
+        /// The edge holding two pairs.
+        edge: usize,
+    },
+    /// Repeater: both halves present (and purified, where required) —
+    /// swap `left` and `right` now.
     Swap {
         /// The request being served.
         request: u64,
@@ -66,15 +88,66 @@ pub enum NodeAction {
     },
 }
 
+/// Per-edge delivery/purification bookkeeping inside one reservation.
+#[derive(Debug, Clone, Copy, Default)]
+struct EdgeState {
+    /// Pairs delivered toward the current usable pair.
+    pairs: u8,
+    /// Parity bits in flight: measured, awaiting the partner's bit.
+    purifying: bool,
+    /// The edge holds its usable (possibly distilled) pair.
+    ready: bool,
+}
+
+impl EdgeState {
+    /// Registers one delivery; returns `true` when the purification
+    /// rule arms (second pair of a purifying edge).
+    fn on_pair(&mut self, need: u8) -> bool {
+        if self.ready || self.purifying {
+            return false;
+        }
+        self.pairs += 1;
+        if self.pairs < need {
+            return false;
+        }
+        if need == 1 {
+            self.ready = true;
+            false
+        } else {
+            self.purifying = true;
+            true
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PathState {
     role: PathRole,
-    have_left: bool,
-    have_right: bool,
+    /// Pairs an edge must deliver before it is usable (2 = purify).
+    need: u8,
+    left: EdgeState,
+    right: EdgeState,
     swapped: bool,
     swap_results: u32,
     frame_z: u8,
     frame_x: u8,
+}
+
+impl PathState {
+    fn edge_state(&mut self, edge: usize) -> Option<&mut EdgeState> {
+        match self.role {
+            PathRole::End { edge: own, .. } => (edge == own).then_some(&mut self.left),
+            PathRole::Repeater { left, right } => {
+                if edge == left {
+                    Some(&mut self.left)
+                } else if edge == right {
+                    Some(&mut self.right)
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 /// The SWAP-ASAP state machine of one network node.
@@ -83,6 +156,8 @@ pub struct SwapAsapNode {
     paths: HashMap<u64, PathState>,
     /// Total swaps this node has performed (across requests).
     pub swaps_performed: u64,
+    /// Purification rules this node has armed (across requests).
+    pub purifications_started: u64,
 }
 
 impl SwapAsapNode {
@@ -118,17 +193,34 @@ impl SwapAsapNode {
             .count()
     }
 
-    /// Reserves this node for a path with the given role.
+    /// Reserves this node for a path with the given role (one pair per
+    /// edge — no purification).
     ///
     /// # Panics
     /// Panics if the request is already reserved here.
     pub fn reserve(&mut self, request: u64, role: PathRole) {
+        self.reserve_with_need(request, role, 1);
+    }
+
+    /// Reserves this node for a path whose edges purify: every edge
+    /// needs two delivered pairs, distilled into one via
+    /// [`NodeAction::Purify`] / [`SwapAsapNode::on_purify_result`],
+    /// before the SWAP-ASAP rules may consume it.
+    ///
+    /// # Panics
+    /// Panics if the request is already reserved here.
+    pub fn reserve_purified(&mut self, request: u64, role: PathRole) {
+        self.reserve_with_need(request, role, 2);
+    }
+
+    fn reserve_with_need(&mut self, request: u64, role: PathRole, need: u8) {
         let prev = self.paths.insert(
             request,
             PathState {
                 role,
-                have_left: false,
-                have_right: false,
+                need,
+                left: EdgeState::default(),
+                right: EdgeState::default(),
                 swapped: false,
                 swap_results: 0,
                 frame_z: 0,
@@ -147,23 +239,66 @@ impl SwapAsapNode {
     /// Returns the action this unlocks, if any.
     pub fn on_pair(&mut self, request: u64, edge: usize) -> Option<NodeAction> {
         let st = self.paths.get_mut(&request)?;
+        let need = st.need;
+        let armed = st.edge_state(edge)?.on_pair(need);
+        if armed {
+            self.purifications_started += 1;
+            return Some(NodeAction::Purify { request, edge });
+        }
+        self.unlock(request)
+    }
+
+    /// Observation: the partner's parity bit for the purification on
+    /// `edge` arrived. An agreeing parity (`accepted`) makes the edge
+    /// ready; a disagreement discards both pairs — the edge counts
+    /// deliveries from zero again.
+    pub fn on_purify_result(
+        &mut self,
+        request: u64,
+        edge: usize,
+        accepted: bool,
+    ) -> Option<NodeAction> {
+        let st = self.paths.get_mut(&request)?;
+        let es = st.edge_state(edge)?;
+        if !es.purifying {
+            return None;
+        }
+        es.purifying = false;
+        if accepted {
+            es.ready = true;
+            self.unlock(request)
+        } else {
+            es.pairs = 0;
+            None
+        }
+    }
+
+    /// Observation: a repeater's swap result (the two BSM bits)
+    /// arrived at this node. Ends fold it into their Pauli frame;
+    /// repeaters ignore it.
+    pub fn on_swap_result(&mut self, request: u64, z: u8, x: u8) -> Option<NodeAction> {
+        let st = self.paths.get_mut(&request)?;
+        let PathRole::End { .. } = st.role else {
+            return None;
+        };
+        st.swap_results += 1;
+        st.frame_z ^= z;
+        st.frame_x ^= x;
+        self.unlock(request)
+    }
+
+    /// Checks whether a reservation's standing rules fire: a repeater
+    /// swaps once both edges are ready; an end reports once its edge
+    /// is ready and every expected swap result arrived. Either fires
+    /// at most once (latched by `swapped`).
+    fn unlock(&mut self, request: u64) -> Option<NodeAction> {
+        let st = self.paths.get_mut(&request)?;
+        if st.swapped {
+            return None;
+        }
         match st.role {
-            PathRole::End {
-                edge: own,
-                expected_swaps,
-            } => {
-                if edge == own {
-                    st.have_left = true;
-                }
-                Self::end_ready(request, st, expected_swaps)
-            }
             PathRole::Repeater { left, right } => {
-                if edge == left {
-                    st.have_left = true;
-                } else if edge == right {
-                    st.have_right = true;
-                }
-                if st.have_left && st.have_right && !st.swapped {
+                if st.left.ready && st.right.ready {
                     st.swapped = true;
                     self.swaps_performed += 1;
                     Some(NodeAction::Swap {
@@ -175,35 +310,20 @@ impl SwapAsapNode {
                     None
                 }
             }
-        }
-    }
-
-    /// Observation: a repeater's swap result (the two BSM bits)
-    /// arrived at this node. Ends fold it into their Pauli frame;
-    /// repeaters ignore it.
-    pub fn on_swap_result(&mut self, request: u64, z: u8, x: u8) -> Option<NodeAction> {
-        let st = self.paths.get_mut(&request)?;
-        let PathRole::End { expected_swaps, .. } = st.role else {
-            return None;
-        };
-        st.swap_results += 1;
-        st.frame_z ^= z;
-        st.frame_x ^= x;
-        Self::end_ready(request, st, expected_swaps)
-    }
-
-    fn end_ready(request: u64, st: &mut PathState, expected: u32) -> Option<NodeAction> {
-        if st.have_left && st.swap_results >= expected && !st.swapped {
-            // `swapped` doubles as the ends' "ready already reported"
-            // latch so completion fires exactly once.
-            st.swapped = true;
-            Some(NodeAction::EndReady {
-                request,
-                frame_z: st.frame_z,
-                frame_x: st.frame_x,
-            })
-        } else {
-            None
+            PathRole::End { expected_swaps, .. } => {
+                if st.left.ready && st.swap_results >= expected_swaps {
+                    // `swapped` doubles as the ends' "ready already
+                    // reported" latch so completion fires exactly once.
+                    st.swapped = true;
+                    Some(NodeAction::EndReady {
+                        request,
+                        frame_z: st.frame_z,
+                        frame_x: st.frame_x,
+                    })
+                } else {
+                    None
+                }
+            }
         }
     }
 }
@@ -337,8 +457,119 @@ mod tests {
         let mut n = SwapAsapNode::new();
         assert_eq!(n.on_pair(99, 0), None);
         assert_eq!(n.on_swap_result(99, 1, 1), None);
+        assert_eq!(n.on_purify_result(99, 0, true), None);
         n.reserve(1, PathRole::Repeater { left: 0, right: 1 });
         n.release(1);
         assert_eq!(n.on_pair(1, 0), None);
+    }
+
+    #[test]
+    fn purifying_repeater_arms_purify_then_swaps_on_accepts() {
+        let mut n = SwapAsapNode::new();
+        n.reserve_purified(4, PathRole::Repeater { left: 0, right: 1 });
+        // One pair per edge: nothing fires yet.
+        assert_eq!(n.on_pair(4, 0), None);
+        assert_eq!(n.on_pair(4, 1), None);
+        // Second pair arms the purification rule per edge.
+        assert_eq!(
+            n.on_pair(4, 0),
+            Some(NodeAction::Purify {
+                request: 4,
+                edge: 0
+            })
+        );
+        assert_eq!(
+            n.on_pair(4, 1),
+            Some(NodeAction::Purify {
+                request: 4,
+                edge: 1
+            })
+        );
+        assert_eq!(n.purifications_started, 2);
+        // One accept is not enough to swap…
+        assert_eq!(n.on_purify_result(4, 0, true), None);
+        // …both accepts fire the swap exactly once.
+        assert_eq!(
+            n.on_purify_result(4, 1, true),
+            Some(NodeAction::Swap {
+                request: 4,
+                left: 0,
+                right: 1
+            })
+        );
+        assert_eq!(n.on_purify_result(4, 1, true), None, "latched");
+        assert_eq!(n.swaps_performed, 1);
+    }
+
+    #[test]
+    fn purify_reject_restarts_the_edge_count() {
+        let mut n = SwapAsapNode::new();
+        n.reserve_purified(
+            6,
+            PathRole::End {
+                edge: 3,
+                expected_swaps: 0,
+            },
+        );
+        assert_eq!(n.on_pair(6, 3), None);
+        assert_eq!(
+            n.on_pair(6, 3),
+            Some(NodeAction::Purify {
+                request: 6,
+                edge: 3
+            })
+        );
+        // While the parity bit is in flight, further deliveries are
+        // not counted toward the *next* round.
+        assert_eq!(n.on_pair(6, 3), None);
+        // Reject: both pairs lost, count restarts.
+        assert_eq!(n.on_purify_result(6, 3, false), None);
+        assert_eq!(n.on_pair(6, 3), None);
+        assert_eq!(
+            n.on_pair(6, 3),
+            Some(NodeAction::Purify {
+                request: 6,
+                edge: 3
+            })
+        );
+        // Accept: the end (expected_swaps = 0) is immediately ready.
+        assert_eq!(
+            n.on_purify_result(6, 3, true),
+            Some(NodeAction::EndReady {
+                request: 6,
+                frame_z: 0,
+                frame_x: 0
+            })
+        );
+    }
+
+    #[test]
+    fn purifying_end_waits_for_swap_results_too() {
+        let mut n = SwapAsapNode::new();
+        n.reserve_purified(
+            8,
+            PathRole::End {
+                edge: 0,
+                expected_swaps: 1,
+            },
+        );
+        n.on_pair(8, 0);
+        assert_eq!(
+            n.on_pair(8, 0),
+            Some(NodeAction::Purify {
+                request: 8,
+                edge: 0
+            })
+        );
+        // Accept arrives, but the repeater's swap result is missing.
+        assert_eq!(n.on_purify_result(8, 0, true), None);
+        assert_eq!(
+            n.on_swap_result(8, 1, 0),
+            Some(NodeAction::EndReady {
+                request: 8,
+                frame_z: 1,
+                frame_x: 0
+            })
+        );
     }
 }

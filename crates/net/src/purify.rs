@@ -1,0 +1,94 @@
+//! Network-layer purification policies.
+//!
+//! SWAP-ASAP composition multiplies link fidelities, so every extra
+//! hop pushes the end-to-end pair toward the maximally mixed 1/4. The
+//! 2→1 distillation primitive
+//! ([`qlink_quantum::purify::distill_werner`]) trades pairs for
+//! fidelity; [`PurifyPolicy`] decides *where* on a path the network
+//! spends that trade:
+//!
+//! * [`PurifyPolicy::Off`] — PR 2's behaviour: one pair per path
+//!   edge, swap as soon as neighbours exist.
+//! * [`PurifyPolicy::LinkLevel`] — every path edge generates **two**
+//!   pairs; the edge's endpoints distill them into one boosted pair
+//!   (exchanging the parity bits over the edge's classical control
+//!   channel) before the SWAP-ASAP machines may swap it. A rejected
+//!   parity check discards both pairs and regenerates.
+//! * [`PurifyPolicy::EndToEnd`] — the request runs as two concurrent
+//!   streams (edge-disjoint routes where the topology has them, via
+//!   the multi-path splitter); the two delivered end-to-end pairs are
+//!   distilled into one by the path ends, with the parity bits
+//!   crossing the whole path's control channels.
+//!
+//! The policy also reprices routes: a purifying edge costs twice the
+//! pairs (plus the distillation's expected retries) but carries the
+//! boosted fidelity — see
+//! [`EdgeProfile::purified_fidelity`](crate::route::EdgeProfile) and
+//! [`RouteMetric::purified_cost`](crate::route::RouteMetric).
+
+/// Where a request applies 2→1 distillation.
+///
+/// # Examples
+///
+/// ```
+/// use qlink_net::purify::PurifyPolicy;
+///
+/// assert_eq!(PurifyPolicy::default(), PurifyPolicy::Off);
+/// assert_eq!(PurifyPolicy::Off.pairs_per_edge(), 1);
+/// assert_eq!(PurifyPolicy::LinkLevel.pairs_per_edge(), 2);
+/// assert_eq!(PurifyPolicy::EndToEnd.name(), "end-to-end");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PurifyPolicy {
+    /// No distillation: one pair per edge, swap immediately.
+    #[default]
+    Off,
+    /// Distill per link: two pairs per path edge become one boosted
+    /// pair before it may be swapped.
+    LinkLevel,
+    /// Distill the delivered end-to-end pairs of two concurrent
+    /// streams into one.
+    EndToEnd,
+}
+
+impl PurifyPolicy {
+    /// Display name (reports, sweep tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            PurifyPolicy::Off => "off",
+            PurifyPolicy::LinkLevel => "link-level",
+            PurifyPolicy::EndToEnd => "end-to-end",
+        }
+    }
+
+    /// Link pairs a path edge must deliver before it is usable.
+    pub fn pairs_per_edge(self) -> u8 {
+        match self {
+            PurifyPolicy::LinkLevel => 2,
+            _ => 1,
+        }
+    }
+
+    /// `true` when routes should be priced with the purified edge
+    /// figures (only link-level purification changes per-edge cost).
+    pub fn prices_purified_edges(self) -> bool {
+        matches!(self, PurifyPolicy::LinkLevel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_surface() {
+        assert_eq!(PurifyPolicy::default(), PurifyPolicy::Off);
+        assert_eq!(PurifyPolicy::Off.pairs_per_edge(), 1);
+        assert_eq!(PurifyPolicy::EndToEnd.pairs_per_edge(), 1);
+        assert_eq!(PurifyPolicy::LinkLevel.pairs_per_edge(), 2);
+        assert!(PurifyPolicy::LinkLevel.prices_purified_edges());
+        assert!(!PurifyPolicy::EndToEnd.prices_purified_edges());
+        assert_eq!(PurifyPolicy::Off.name(), "off");
+        assert_eq!(PurifyPolicy::LinkLevel.name(), "link-level");
+    }
+}

@@ -19,6 +19,17 @@
 //!   (additive as `-ln F`, the standard trick for multiplicative
 //!   route metrics).
 //!
+//! Purifying routes are priced through the same machinery: each
+//! profile also carries the **distilled** figures of its edge
+//! ([`EdgeProfile::purified_fidelity`], the DEJMPS output of two
+//! profile pairs, and [`EdgeProfile::purified_latency`], the
+//! double-pair-plus-retries generation cost), and
+//! [`RouteMetric::purified_cost`] switches a metric onto them when
+//! planning under
+//! [`PurifyPolicy::LinkLevel`](crate::purify::PurifyPolicy) — so
+//! [`Network::plan_route`](crate::network::Network::plan_route) faces
+//! the real fidelity-vs-throughput tradeoff purification creates.
+//!
 //! Search is deterministic Dijkstra (equal-cost ties break by
 //! structural settle order, so routing is a pure function of the
 //! topology — never of hash or scheduling order) plus Yen's algorithm
@@ -54,9 +65,11 @@
 //! assert!(FidelityProduct.edge_cost(planner.profile(2)) > 0.0);
 //! ```
 
+use crate::purify::PurifyPolicy;
 use crate::topology::Topology;
 use qlink_des::SimDuration;
 use qlink_egp::feu::FidelityEstimator;
+use qlink_quantum::purify::distill_werner;
 use qlink_wire::fields::RequestType;
 
 /// Reference bright-state population at which edges are profiled.
@@ -96,6 +109,16 @@ pub struct EdgeProfile {
     pub fidelity_ceiling: f64,
     /// One-way classical control delay of the edge.
     pub control_delay: SimDuration,
+    /// Fidelity of the edge's pair after a link-level 2→1
+    /// distillation of two profile-fidelity pairs (the DEJMPS closed
+    /// form on [`EdgeProfile::fidelity`] twice). What a purifying
+    /// route's fidelity product is built from.
+    pub purified_fidelity: f64,
+    /// Expected time to one *accepted* distilled pair: two pair
+    /// generations plus the parity-bit exchange per attempt, divided
+    /// by the distillation's success probability — the double-pair
+    /// (and retry) price a purifying route pays per edge.
+    pub purified_latency: SimDuration,
 }
 
 /// A per-edge cost function for path search.
@@ -109,6 +132,14 @@ pub trait RouteMetric {
 
     /// The cost of traversing an edge with this profile.
     fn edge_cost(&self, profile: &EdgeProfile) -> f64;
+
+    /// The cost of traversing the edge when the route purifies it
+    /// (link-level 2→1 distillation: double pair cost, boosted
+    /// fidelity). Defaults to [`RouteMetric::edge_cost`] for metrics
+    /// the trade does not move (hop count).
+    fn purified_cost(&self, profile: &EdgeProfile) -> f64 {
+        self.edge_cost(profile)
+    }
 }
 
 /// PR 1's metric: every edge costs 1; shortest path = fewest hops.
@@ -137,6 +168,10 @@ impl RouteMetric for Latency {
     fn edge_cost(&self, profile: &EdgeProfile) -> f64 {
         profile.expected_latency.as_secs_f64()
     }
+
+    fn purified_cost(&self, profile: &EdgeProfile) -> f64 {
+        profile.purified_latency.as_secs_f64()
+    }
 }
 
 /// Maximise the product of (decay-adjusted) link fidelities: the cost
@@ -154,6 +189,14 @@ impl RouteMetric for FidelityProduct {
             f64::INFINITY
         } else {
             -profile.fidelity.ln()
+        }
+    }
+
+    fn purified_cost(&self, profile: &EdgeProfile) -> f64 {
+        if profile.purified_fidelity <= 0.0 {
+            f64::INFINITY
+        } else {
+            -profile.purified_fidelity.ln()
         }
     }
 }
@@ -215,6 +258,17 @@ impl RoutePlanner {
                 let rate = 2.0 * (1.0 / nv.carbon_t1 + 1.0 / nv.carbon_t2);
                 let w = (4.0 * raw_fidelity - 1.0) / 3.0;
                 let fidelity = (1.0 + 3.0 * w * (-hold * rate).exp()) / 4.0;
+                // Price the link-level purification of this edge: two
+                // profile pairs distilled into one, retried until the
+                // parity check agrees, each attempt paying two pair
+                // generations plus one control one-way for the bit.
+                let distilled =
+                    distill_werner(fidelity.clamp(0.25, 1.0), fidelity.clamp(0.25, 1.0));
+                let attempt_s =
+                    2.0 * expected_latency.as_secs_f64() + e.control_delay.as_secs_f64();
+                let purified_latency = SimDuration::from_secs_f64(
+                    attempt_s / distilled.success_probability.max(f64::MIN_POSITIVE),
+                );
                 EdgeProfile {
                     edge: i,
                     success_probability: psucc,
@@ -222,6 +276,8 @@ impl RoutePlanner {
                     fidelity,
                     fidelity_ceiling: ceiling,
                     control_delay: e.control_delay,
+                    purified_fidelity: distilled.output_fidelity,
+                    purified_latency,
                 }
             })
             .collect();
@@ -241,11 +297,19 @@ impl RoutePlanner {
         &self.profiles
     }
 
-    fn cost_fn<'a>(&'a self, metric: &'a dyn RouteMetric, fmin: f64) -> impl Fn(usize) -> f64 + 'a {
+    fn cost_fn<'a>(
+        &'a self,
+        metric: &'a dyn RouteMetric,
+        fmin: f64,
+        purify: PurifyPolicy,
+    ) -> impl Fn(usize) -> f64 + 'a {
+        let purified = purify.prices_purified_edges();
         move |edge| {
             let p = &self.profiles[edge];
             if p.fidelity_ceiling < fmin {
                 f64::INFINITY // the link would reject the CREATE (UNSUPP)
+            } else if purified {
+                metric.purified_cost(p)
             } else {
                 metric.edge_cost(p)
             }
@@ -266,7 +330,27 @@ impl RoutePlanner {
         metric: &dyn RouteMetric,
         fmin: f64,
     ) -> Option<Route> {
-        dijkstra(topo, src, dst, &self.cost_fn(metric, fmin), None)
+        self.shortest_path_with(topo, src, dst, metric, fmin, PurifyPolicy::Off)
+    }
+
+    /// [`RoutePlanner::shortest_path`] priced under a purification
+    /// policy: with [`PurifyPolicy::LinkLevel`] every edge is charged
+    /// its [`RouteMetric::purified_cost`] — the double-pair, boosted-
+    /// fidelity trade — so latency-style metrics see the real pair
+    /// cost and fidelity-style metrics see the real gain.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or `src == dst`.
+    pub fn shortest_path_with(
+        &self,
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+        metric: &dyn RouteMetric,
+        fmin: f64,
+        purify: PurifyPolicy,
+    ) -> Option<Route> {
+        dijkstra(topo, src, dst, &self.cost_fn(metric, fmin, purify), None)
     }
 
     /// Up to `k` loopless paths in non-decreasing `metric` cost
@@ -283,7 +367,26 @@ impl RoutePlanner {
         metric: &dyn RouteMetric,
         fmin: f64,
     ) -> Vec<Route> {
-        yen(topo, src, dst, k, &self.cost_fn(metric, fmin))
+        self.k_shortest_paths_with(topo, src, dst, k, metric, fmin, PurifyPolicy::Off)
+    }
+
+    /// [`RoutePlanner::k_shortest_paths`] priced under a purification
+    /// policy (see [`RoutePlanner::shortest_path_with`]).
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes, `src == dst`, or `k == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn k_shortest_paths_with(
+        &self,
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+        k: usize,
+        metric: &dyn RouteMetric,
+        fmin: f64,
+        purify: PurifyPolicy,
+    ) -> Vec<Route> {
+        yen(topo, src, dst, k, &self.cost_fn(metric, fmin, purify))
     }
 }
 
@@ -573,5 +676,55 @@ mod tests {
         assert_eq!(HopCount.name(), "hops");
         assert_eq!(Latency.name(), "latency");
         assert_eq!(FidelityProduct.name(), "fidelity");
+    }
+
+    #[test]
+    fn purified_profiles_trade_latency_for_fidelity() {
+        let t = ring();
+        let planner = RoutePlanner::new(&t);
+        for p in planner.profiles() {
+            // Lab keep fidelity sits above the F > 1/2 distillation
+            // threshold, so the purified figure must be a strict gain…
+            assert!(
+                p.purified_fidelity > p.fidelity,
+                "edge {}: purified {} ≤ raw {}",
+                p.edge,
+                p.purified_fidelity,
+                p.fidelity
+            );
+            // …paid for by more than double the generation latency
+            // (two pairs per attempt, retried on rejected parity).
+            assert!(
+                p.purified_latency.as_secs_f64() > 2.0 * p.expected_latency.as_secs_f64(),
+                "edge {}: purified latency must price the double pair cost",
+                p.edge
+            );
+            // The closed form itself is what the profile carries.
+            let d = distill_werner(p.fidelity, p.fidelity);
+            assert!((p.purified_fidelity - d.output_fidelity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn purified_costs_steer_metrics() {
+        let t = ring();
+        let planner = RoutePlanner::new(&t);
+        let p = planner.profile(0);
+        // Hop count is indifferent to purification.
+        assert_eq!(HopCount.purified_cost(p), HopCount.edge_cost(p));
+        // Latency pays more per purified edge, fidelity pays less.
+        assert!(Latency.purified_cost(p) > Latency.edge_cost(p));
+        assert!(FidelityProduct.purified_cost(p) < FidelityProduct.edge_cost(p));
+
+        // The policy-aware searches agree with the plain ones on
+        // unit-cost metrics and reprice the others.
+        let plain = planner
+            .shortest_path(&t, 0, 3, &Latency, 0.0)
+            .expect("connected");
+        let purified = planner
+            .shortest_path_with(&t, 0, 3, &Latency, 0.0, PurifyPolicy::LinkLevel)
+            .expect("connected");
+        assert_eq!(plain.nodes, purified.nodes, "identical links: same path");
+        assert!(purified.cost > plain.cost, "purified edges cost more");
     }
 }

@@ -9,6 +9,7 @@
 //! results.
 
 use crate::network::Network;
+use crate::purify::PurifyPolicy;
 use crate::route::{FidelityProduct, HopCount, Latency};
 use crate::topology::Topology;
 use qlink_des::{DetRng, SimDuration};
@@ -86,8 +87,19 @@ pub struct ScenarioSpec {
     pub metric: MetricChoice,
     /// Concurrent same-pair requests per round (1 = single path; more
     /// are split across routes by
-    /// [`Network::request_entanglement_multipath`]).
+    /// [`Network::request_entanglement_multipath`]). Ignored under
+    /// [`PurifyPolicy::EndToEnd`], whose rounds are one *logical*
+    /// request each (two internal streams distilled into one pair).
     pub streams: u32,
+    /// Purification policy of every round's requests.
+    pub purify: PurifyPolicy,
+    /// Overrides the carbon-memory dephasing time `T2*` (seconds) of
+    /// every hop — the knob that models dynamically decoupled
+    /// long-lived memories, without which multi-hop pairs decay to
+    /// the maximally mixed 1/4 long before a partner pair for
+    /// distillation can be generated. `None` keeps the scenario's
+    /// Table 6 hardware value.
+    pub carbon_t2: Option<f64>,
 }
 
 impl ScenarioSpec {
@@ -106,6 +118,8 @@ impl ScenarioSpec {
             rounds: 1,
             metric: MetricChoice::Hops,
             streams: 1,
+            purify: PurifyPolicy::Off,
+            carbon_t2: None,
         }
     }
 
@@ -133,16 +147,31 @@ impl ScenarioSpec {
         self
     }
 
+    /// Builder: purification policy.
+    pub fn with_purify(mut self, purify: PurifyPolicy) -> Self {
+        self.purify = purify;
+        self
+    }
+
+    /// Builder: carbon-memory `T2*` override (seconds) on every hop.
+    pub fn with_carbon_t2(mut self, t2: f64) -> Self {
+        self.carbon_t2 = Some(t2);
+        self
+    }
+
     /// Builds the run's topology with per-edge seeds derived from the
     /// run seed (stable per edge index, independent across edges).
     fn topology(&self, run_seed: u64) -> Topology {
         let root = DetRng::new(run_seed);
         Topology::chain(self.nodes, |i| {
             let seed = root.substream(&format!("edge/{i}")).seed();
-            let cfg = match self.scenario {
+            let mut cfg = match self.scenario {
                 LinkScenario::Lab => LinkConfig::lab(WorkloadSpec::none(), seed),
                 LinkScenario::Ql2020 => LinkConfig::ql2020(WorkloadSpec::none(), seed),
             };
+            if let Some(t2) = self.carbon_t2 {
+                cfg.scenario.nv.carbon_t2 = t2;
+            }
             cfg.with_scheduler(self.scheduler)
                 .with_classical_loss(self.classical_loss)
         })
@@ -158,12 +187,22 @@ pub struct RunRecord {
     pub seed: u64,
     /// Requests that delivered end-to-end entanglement.
     pub successes: u32,
-    /// Requests attempted (`rounds × streams` of the spec).
+    /// Logical requests attempted: counted as they are issued —
+    /// `rounds × streams` of the spec normally, `rounds` under
+    /// [`PurifyPolicy::EndToEnd`] (one distilled pair per round,
+    /// however many internal streams feed it). An outcome can only
+    /// ever be counted against the round that issued its request, so
+    /// `successes ≤ rounds` holds even when a stream aborts on UNSUPP
+    /// and a buffered outcome straddles a round boundary.
     pub rounds: u32,
     /// End-to-end fidelities of successful rounds.
     pub fidelity: RunningStats,
     /// End-to-end latencies (seconds) of successful rounds.
     pub latency_s: RunningStats,
+    /// Link pairs consumed by the delivered outcomes (purification
+    /// spends several per edge; see
+    /// [`EndToEndOutcome::pairs_consumed`](crate::network::EndToEndOutcome)).
+    pub pairs_consumed: u64,
     /// Total events fired (shared queue + all links).
     pub events: u64,
 }
@@ -177,12 +216,15 @@ pub struct ScenarioStats {
     pub runs: u32,
     /// Requests that delivered end-to-end entanglement, across runs.
     pub successes: u32,
-    /// Requests attempted across runs (`rounds × streams` per run).
+    /// Logical requests attempted across runs (see
+    /// [`RunRecord::rounds`]).
     pub rounds: u32,
     /// End-to-end fidelity across delivered requests.
     pub fidelity: RunningStats,
     /// End-to-end latency (seconds) across delivered requests.
     pub latency_s: RunningStats,
+    /// Link pairs consumed by delivered outcomes across runs.
+    pub pairs_consumed: u64,
     /// Total events fired across runs.
     pub events: u64,
 }
@@ -213,27 +255,36 @@ pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
         MetricChoice::Latency => net.set_route_metric(Latency),
         MetricChoice::Fidelity => net.set_route_metric(FidelityProduct),
     }
+    net.set_purify_policy(spec.purify);
     let dst = spec.nodes - 1;
     let streams = spec.streams.max(1);
     let mut record = RunRecord {
         scenario: 0,
         seed,
         successes: 0,
-        rounds: spec.rounds * streams,
+        rounds: 0,
         fidelity: RunningStats::new(),
         latency_s: RunningStats::new(),
+        pairs_consumed: 0,
         events: 0,
     };
     for _ in 0..spec.rounds {
-        let requests = if streams == 1 {
+        // Under EndToEnd a round is one logical request (two internal
+        // streams distilled into one delivered pair).
+        let requests = if streams == 1 || spec.purify == PurifyPolicy::EndToEnd {
             vec![net.request_entanglement(0, dst, spec.fmin)]
         } else {
             net.request_entanglement_multipath(0, dst, spec.fmin, streams as usize)
         };
+        // Count attempts as issued, and only ever credit an outcome to
+        // the round that issued its request: a stream aborting on
+        // UNSUPP must not let a buffered outcome from an earlier round
+        // double-count into this round's quota.
+        record.rounds += requests.len() as u32;
+        let mut pending: Vec<u64> = requests.clone();
         // One shared time budget per round, however many streams.
         let deadline = net.now() + spec.max_time;
-        let mut delivered = 0;
-        while delivered < requests.len() {
+        while !pending.is_empty() {
             let left = deadline.saturating_since(net.now());
             if left == SimDuration::ZERO {
                 break;
@@ -241,10 +292,14 @@ pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
             let Some(out) = net.run_until_outcome(left) else {
                 break;
             };
-            delivered += 1;
+            let Some(at) = pending.iter().position(|&r| r == out.request) else {
+                continue; // an earlier round's stray outcome
+            };
+            pending.swap_remove(at);
             record.successes += 1;
             record.fidelity.push(out.end_to_end_fidelity);
             record.latency_s.push(out.latency.as_secs_f64());
+            record.pairs_consumed += u64::from(out.pairs_consumed);
         }
         // Cancel whatever did not make the budget (no-op when done).
         for request in requests {
@@ -307,6 +362,7 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 rounds: 0,
                 fidelity: RunningStats::new(),
                 latency_s: RunningStats::new(),
+                pairs_consumed: 0,
                 events: 0,
             };
             for run in runs.iter().filter(|r| r.scenario == si) {
@@ -315,6 +371,7 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 stats.rounds += run.rounds;
                 stats.fidelity.merge(&run.fidelity);
                 stats.latency_s.merge(&run.latency_s);
+                stats.pairs_consumed += run.pairs_consumed;
                 stats.events += run.events;
             }
             stats

@@ -277,6 +277,20 @@ impl Topology {
             })
             .collect()
     }
+
+    /// One-way classical latency along a node path: the sum of every
+    /// hop's control-channel delay. What a hop-by-hop message (a swap
+    /// result, an end-to-end purification parity bit) pays to cross
+    /// the path.
+    ///
+    /// # Panics
+    /// Panics if consecutive path nodes are not connected.
+    pub fn path_control_delay(&self, path: &[usize]) -> SimDuration {
+        self.path_edges(path)
+            .iter()
+            .map(|&e| self.edges[e].control_delay)
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +368,15 @@ mod tests {
         q.connect(0, 1, LinkConfig::ql2020(WorkloadSpec::none(), 7));
         let d = q.edge(0).control_delay.as_micros_f64();
         assert!((d - 120.9).abs() < 1.0, "25 km ≈ 121 µs, got {d}");
+    }
+
+    #[test]
+    fn path_control_delay_sums_hops() {
+        let t = Topology::chain(4, |i| lab(i as u64));
+        let per_hop = t.edge(0).control_delay;
+        let total = t.path_control_delay(&[0, 1, 2, 3]);
+        assert_eq!(total, per_hop + per_hop + per_hop);
+        assert_eq!(t.path_control_delay(&[0]), SimDuration::ZERO);
     }
 
     #[test]

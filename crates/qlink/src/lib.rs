@@ -85,6 +85,7 @@ pub mod prelude {
     pub use crate::des::{DetRng, SimDuration, SimTime};
     pub use crate::net::chain::RepeaterChain;
     pub use crate::net::network::{EndToEndOutcome, Network};
+    pub use crate::net::purify::PurifyPolicy;
     pub use crate::net::route::{
         EdgeProfile, FidelityProduct, HopCount, Latency, Route, RouteMetric, RoutePlanner,
     };
@@ -92,6 +93,7 @@ pub mod prelude {
     pub use crate::net::topology::Topology;
     pub use crate::phys::params::{Scenario, ScenarioParams};
     pub use crate::quantum::bell::{bell_fidelity, BellState, Qber};
+    pub use crate::quantum::purify::{distill_werner, DistillOutcome};
     pub use crate::quantum::{Basis, QuantumState};
     pub use crate::sim::chain::ChainOutcome;
     pub use crate::sim::config::{LinkConfig, RequestKind, SchedulerChoice, UsagePattern};

@@ -14,7 +14,10 @@
 //! * [`bell`] — Bell states, fidelity, QBER and the fidelity↔QBER
 //!   relation of eq. (16),
 //! * [`ops`] — teleportation and entanglement swapping (Figure 1),
-//!   used by the example applications and the network-layer use case.
+//!   used by the example applications and the network-layer use case,
+//! * [`purify`] — 2→1 entanglement distillation (DEJMPS/BBPSSW) closed
+//!   forms on Werner pairs, verified against the explicit circuit;
+//!   the primitive behind the network layer's purification rules.
 //!
 //! # Conventions
 //!
@@ -25,7 +28,9 @@ pub mod bell;
 pub mod channels;
 pub mod gates;
 pub mod ops;
+pub mod purify;
 pub mod state;
 
 pub use bell::BellState;
+pub use purify::{distill_werner, DistillOutcome};
 pub use state::{Basis, QuantumState};

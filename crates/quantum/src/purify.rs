@@ -1,0 +1,258 @@
+//! 2→1 entanglement distillation (DEJMPS / BBPSSW) on Werner pairs.
+//!
+//! The link layer delivers pairs whose fidelity the network layer
+//! summarises as a Werner state (see
+//! [`crate::bell::werner_from_fidelity`]); under
+//! entanglement swapping those fidelities compose multiplicatively, so
+//! long paths decay geometrically toward the maximally mixed 1/4. The
+//! recurrence protocols of Bennett et al. (BBPSSW, PRL 76, 722) and
+//! Deutsch et al. (DEJMPS, PRL 77, 2818) trade *two* noisy pairs for
+//! *one* better pair: both sides apply local rotations and a CNOT from
+//! the pair to be kept onto the pair to be measured, measure the
+//! target pair in the computational basis, exchange the outcome bits
+//! classically, and keep the source pair exactly when the bits agree.
+//!
+//! This module provides the closed-form success probability and output
+//! fidelity of that 2→1 step for Werner-state inputs. Writing each
+//! input as the Bell-diagonal mixture `F·Φ⁺ + (1−F)/3·(Φ⁻+Ψ⁺+Ψ⁻)`,
+//! the parity check passes with probability
+//!
+//! ```text
+//! p_succ = (8·Fa·Fb − 2·Fa − 2·Fb + 5) / 9
+//! ```
+//!
+//! and the surviving pair has fidelity
+//!
+//! ```text
+//! F_out = (Fa·Fb + (1−Fa)(1−Fb)/9) / p_succ .
+//! ```
+//!
+//! For Werner inputs the DEJMPS basis rotations change nothing (the
+//! three error terms already have equal weight), so the same formulas
+//! cover both protocols; `purify_werner_circuit` verifies them against
+//! the full density-matrix circuit in this module's tests. Equal-input
+//! distillation improves fidelity exactly when `F > 1/2` — the same
+//! threshold below which a Werner state stops being useful
+//! entanglement — and fixes both `F = 1/2` and `F = 1`.
+
+use crate::bell::{bell_fidelity, werner_from_fidelity, BellState};
+use crate::gates;
+use crate::state::Basis;
+use qlink_math::CMatrix;
+
+/// The closed-form result of one 2→1 distillation attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistillOutcome {
+    /// Probability that the two measured bits agree (the pair is kept).
+    pub success_probability: f64,
+    /// Fidelity of the kept pair, conditioned on success.
+    pub output_fidelity: f64,
+}
+
+/// DEJMPS/BBPSSW 2→1 distillation of two Werner pairs with fidelities
+/// `fa` and `fb` (each toward the same target Bell state).
+///
+/// Returns the success probability of the parity check and the output
+/// fidelity conditioned on success. Inputs must be physical Werner
+/// fidelities in `[1/4, 1]`.
+///
+/// # Panics
+/// Panics if either fidelity lies outside `[1/4, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use qlink_quantum::purify::distill_werner;
+///
+/// // Two F = 0.8 pairs distill to one F ≈ 0.838 pair.
+/// let out = distill_werner(0.8, 0.8);
+/// assert!(out.output_fidelity > 0.83 && out.output_fidelity < 0.85);
+/// assert!(out.success_probability > 0.7);
+///
+/// // F = 1/2 is the fixed point: no improvement at the threshold.
+/// let flat = distill_werner(0.5, 0.5);
+/// assert!((flat.output_fidelity - 0.5).abs() < 1e-12);
+/// ```
+pub fn distill_werner(fa: f64, fb: f64) -> DistillOutcome {
+    for f in [fa, fb] {
+        assert!(
+            (0.25..=1.0 + 1e-12).contains(&f),
+            "Werner fidelity {f} outside [1/4, 1]"
+        );
+    }
+    let success_probability = (8.0 * fa * fb - 2.0 * fa - 2.0 * fb + 5.0) / 9.0;
+    let output_fidelity = (fa * fb + (1.0 - fa) * (1.0 - fb) / 9.0) / success_probability;
+    DistillOutcome {
+        success_probability,
+        output_fidelity: output_fidelity.clamp(0.0, 1.0),
+    }
+}
+
+/// `true` when one equal-input 2→1 step on Werner pairs of fidelity
+/// `f` yields output fidelity strictly above `f`: exactly the open
+/// interval `1/2 < f < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use qlink_quantum::purify::distillation_improves;
+///
+/// assert!(distillation_improves(0.7));
+/// assert!(!distillation_improves(0.5)); // threshold is a fixed point
+/// assert!(!distillation_improves(1.0)); // nothing left to gain
+/// ```
+pub fn distillation_improves(f: f64) -> bool {
+    f > 0.5 && f < 1.0 && distill_werner(f, f).output_fidelity > f
+}
+
+/// Runs the DEJMPS circuit on two Werner pairs at the density-matrix
+/// level and returns `(p_succ, F_out)` by explicit postselection —
+/// the ground truth [`distill_werner`] must reproduce.
+///
+/// Register layout: qubits `(0, 1)` are the kept pair (Alice holds 0,
+/// Bob holds 1), qubits `(2, 3)` the measured pair (Alice 2, Bob 3).
+/// Alice applies `Rx(π/2)` to her qubits, Bob `Rx(−π/2)` to his, each
+/// side CNOTs its kept qubit onto its measured qubit, and the measured
+/// pair is projected onto equal computational-basis outcomes.
+pub fn purify_werner_circuit(fa: f64, fb: f64) -> (f64, f64) {
+    let mut joint = werner_from_fidelity(BellState::PhiPlus, fa)
+        .tensor(&werner_from_fidelity(BellState::PhiPlus, fb));
+    let half_pi = std::f64::consts::FRAC_PI_2;
+    for alice in [0, 2] {
+        joint.apply_unitary(&gates::rx(half_pi), &[alice]);
+    }
+    for bob in [1, 3] {
+        joint.apply_unitary(&gates::rx(-half_pi), &[bob]);
+    }
+    joint.apply_unitary(&gates::cnot(), &[0, 2]); // Alice: kept → measured
+    joint.apply_unitary(&gates::cnot(), &[1, 3]); // Bob: kept → measured
+
+    // Project the measured pair onto agreeing outcomes (00 or 11).
+    let (p0, p1) = Basis::Z.projectors();
+    let agree = &p0.kron(&p0) + &p1.kron(&p1);
+    let p_succ = joint.povm_probability(&agree, &[2, 3]);
+    joint.apply_kraus(&project(agree), &[2, 3]);
+    let f_out = bell_fidelity(&joint, (0, 1), BellState::PhiPlus);
+    (p_succ, f_out)
+}
+
+/// Wraps a single projector as a one-element "Kraus set" so
+/// [`QuantumState::apply_kraus`](crate::state::QuantumState::apply_kraus)'s
+/// renormalisation performs the postselection `ρ ← PρP / Tr(PρP)`.
+fn project(p: CMatrix) -> Vec<CMatrix> {
+    vec![p]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-computed reference values for the closed forms.
+    #[test]
+    fn closed_form_matches_hand_computed_values() {
+        // Fa = Fb = 0.8: p = (8·0.64 − 3.2 + 5)/9 = 6.92/9,
+        // F' = (0.64 + 0.04·0.04·... ) — numerator 0.64 + 0.04/9·0.4?
+        // worked exactly: (0.64 + (0.2·0.2)/9) / (6.92/9).
+        let out = distill_werner(0.8, 0.8);
+        assert!((out.success_probability - 6.92 / 9.0).abs() < 1e-12);
+        assert!((out.output_fidelity - (0.64 + 0.04 / 9.0) / (6.92 / 9.0)).abs() < 1e-12);
+
+        // Asymmetric inputs 0.9 and 0.7.
+        let out = distill_werner(0.9, 0.7);
+        let p = (8.0 * 0.63 - 1.8 - 1.4 + 5.0) / 9.0;
+        assert!((out.success_probability - p).abs() < 1e-12);
+        assert!((out.output_fidelity - (0.63 + 0.1 * 0.3 / 9.0) / p).abs() < 1e-12);
+
+        // Perfect pairs stay perfect and always pass.
+        let out = distill_werner(1.0, 1.0);
+        assert!((out.success_probability - 1.0).abs() < 1e-12);
+        assert!((out.output_fidelity - 1.0).abs() < 1e-12);
+
+        // Maximally mixed inputs: parity is a coin flip, output stays
+        // maximally mixed.
+        let out = distill_werner(0.25, 0.25);
+        assert!((out.success_probability - 0.5).abs() < 1e-12);
+        assert!((out.output_fidelity - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_threshold_boundary() {
+        // F = 1/2 is a fixed point of the recurrence…
+        let at = distill_werner(0.5, 0.5);
+        assert!((at.output_fidelity - 0.5).abs() < 1e-12);
+        assert!(!distillation_improves(0.5));
+        // …strictly above it the step gains fidelity…
+        for f in [0.5 + 1e-6, 0.6, 0.75, 0.9, 0.99] {
+            assert!(
+                distill_werner(f, f).output_fidelity > f,
+                "no gain at F = {f}"
+            );
+            assert!(distillation_improves(f));
+        }
+        // …and strictly below it the step loses fidelity.
+        for f in [0.26, 0.3, 0.4, 0.5 - 1e-6] {
+            assert!(
+                distill_werner(f, f).output_fidelity < f,
+                "spurious gain at F = {f}"
+            );
+            assert!(!distillation_improves(f));
+        }
+        // The endpoints are fixed but not improvements.
+        assert!(!distillation_improves(1.0));
+    }
+
+    #[test]
+    fn output_is_physical_over_the_whole_range() {
+        for i in 0..=20 {
+            for j in 0..=20 {
+                let fa = 0.25 + 0.75 * i as f64 / 20.0;
+                let fb = 0.25 + 0.75 * j as f64 / 20.0;
+                let out = distill_werner(fa, fb);
+                assert!(
+                    out.success_probability > 0.0 && out.success_probability <= 1.0 + 1e-12,
+                    "psucc({fa},{fb}) = {}",
+                    out.success_probability
+                );
+                assert!(
+                    (0.0..=1.0).contains(&out.output_fidelity),
+                    "F'({fa},{fb}) = {}",
+                    out.output_fidelity
+                );
+            }
+        }
+    }
+
+    /// The closed forms must match the explicit DEJMPS circuit run on
+    /// the full 4-qubit density matrix, including asymmetric inputs.
+    #[test]
+    fn closed_form_matches_density_matrix_circuit() {
+        for (fa, fb) in [
+            (1.0, 1.0),
+            (0.9, 0.9),
+            (0.8, 0.6),
+            (0.7, 0.7),
+            (0.5, 0.5),
+            (0.6, 0.3),
+            (0.25, 0.25),
+        ] {
+            let (p_circuit, f_circuit) = purify_werner_circuit(fa, fb);
+            let closed = distill_werner(fa, fb);
+            assert!(
+                (p_circuit - closed.success_probability).abs() < 1e-9,
+                "psucc({fa},{fb}): circuit {p_circuit} vs closed {}",
+                closed.success_probability
+            );
+            assert!(
+                (f_circuit - closed.output_fidelity).abs() < 1e-9,
+                "F'({fa},{fb}): circuit {f_circuit} vs closed {}",
+                closed.output_fidelity
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [1/4, 1]")]
+    fn sub_physical_fidelity_rejected() {
+        distill_werner(0.2, 0.8);
+    }
+}
