@@ -13,37 +13,25 @@
 //! * `purify/*` — simulation cost of the purification policies: one
 //!   delivered end-to-end pair on a 3-node long-memory chain under
 //!   Off vs LinkLevel (double pairs + parity exchanges per edge).
+//! * `congestion/*` — the contended-mesh workload: six concurrent
+//!   cross-traffic pairs on a 4×4 grid under static vs load-scaled
+//!   latency routing (with and without timeout re-routing).
+//! * `sweep/*` — sweep-driver throughput (ROADMAP item): runs/second
+//!   of a fixed scenario × seed matrix vs worker-thread count.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qlink::net::route::{FidelityProduct, HopCount, Latency, RoutePlanner};
-use qlink::net::sweep::run_one;
+use qlink::net::sweep::{run_one, sweep};
+use qlink::net::MetricChoice;
 use qlink::prelude::*;
 
 fn lab(seed: u64) -> LinkConfig {
     LinkConfig::lab(WorkloadSpec::none(), seed)
 }
 
-/// An n × n grid, nodes indexed row-major, every adjacent pair linked.
+/// An n × n Lab-link grid (row-major, per-edge seeds).
 fn grid(n: usize) -> Topology {
-    let mut t = Topology::new();
-    for _ in 0..n * n {
-        t.add_node();
-    }
-    let mut seed = 0;
-    for r in 0..n {
-        for c in 0..n {
-            let i = r * n + c;
-            if c + 1 < n {
-                seed += 1;
-                t.connect(i, i + 1, lab(seed));
-            }
-            if r + 1 < n {
-                seed += 1;
-                t.connect(i, i + n, lab(seed));
-            }
-        }
-    }
-    t
+    Topology::grid(n, n, |i| lab(1 + i as u64))
 }
 
 fn bench_chain_scaling(c: &mut Criterion) {
@@ -102,6 +90,66 @@ fn bench_purify_policies(c: &mut Criterion) {
     }
 }
 
+fn bench_congested_mesh(c: &mut Criterion) {
+    let pairs = vec![(0, 15), (3, 12), (1, 11), (2, 8), (7, 13), (4, 14)];
+    let cells = [
+        ("latency", MetricChoice::Latency, 0u32),
+        ("load_latency", MetricChoice::LoadLatency, 0),
+        ("latency_retry2", MetricChoice::Latency, 2),
+    ];
+    for (name, metric, retries) in cells {
+        let mut spec = ScenarioSpec::lab_grid("grid", 4, 4)
+            .with_pairs(pairs.clone())
+            .with_max_time(SimDuration::from_millis(500))
+            .with_metric(metric)
+            .with_retries(retries);
+        if retries > 0 {
+            spec = spec.with_request_timeout(SimDuration::from_millis(250));
+        }
+        // Orientation line: what the contended cell actually delivers.
+        let r = run_one(&spec, 1);
+        println!(
+            "congestion {name:<14}: {}/{} delivered, {} timeouts, {} reroutes",
+            r.successes, r.rounds, r.timeouts, r.reroutes,
+        );
+        c.bench_function(&format!("congestion/grid4x4_6pairs_{name}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_one(black_box(&spec), seed))
+            })
+        });
+    }
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    // A fixed 2-scenario × 4-seed matrix of short chain runs; the
+    // bench sweeps the worker-thread count (ROADMAP: runs/second vs
+    // threads). Results are identical whatever the count — only the
+    // wall clock moves.
+    let specs = vec![
+        ScenarioSpec::lab_chain("1-hop", 2).with_max_time(SimDuration::from_secs(5)),
+        ScenarioSpec::lab_chain("2-hop", 3).with_max_time(SimDuration::from_secs(5)),
+    ];
+    let seeds: Vec<u64> = (1..=4).collect();
+    let runs = (specs.len() * seeds.len()) as f64;
+    for threads in [1usize, 2, 4] {
+        // Orientation line: the runs/second figure the ROADMAP asks
+        // for, measured over one warm sweep.
+        let start = std::time::Instant::now();
+        let report = sweep(&specs, &seeds, threads);
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "sweep {threads} thread(s): {:.1} runs/s ({} workers used)",
+            runs / secs,
+            report.threads_used,
+        );
+        c.bench_function(&format!("sweep/throughput_{threads}threads"), |b| {
+            b.iter(|| black_box(sweep(black_box(&specs), black_box(&seeds), threads)))
+        });
+    }
+}
+
 fn bench_routing_overhead(c: &mut Criterion) {
     let topo = grid(6);
     let (src, dst) = (0, topo.node_count() - 1);
@@ -135,6 +183,6 @@ fn bench_routing_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_chain_scaling, bench_routing_overhead, bench_purify_policies
+    targets = bench_chain_scaling, bench_routing_overhead, bench_purify_policies, bench_congested_mesh, bench_sweep_throughput
 }
 criterion_main!(benches);

@@ -20,9 +20,15 @@
 //!   adjusted fidelity) derived from each edge's link configuration,
 //!   deterministic Dijkstra and Yen K-shortest-paths search, and the
 //!   pluggable [`RouteMetric`] trait ([`HopCount`], [`Latency`],
-//!   [`FidelityProduct`]) steering [`Network::request_entanglement`]
-//!   and the multi-path splitter
-//!   [`Network::request_entanglement_multipath`];
+//!   [`FidelityProduct`], and the congestion-aware
+//!   [`LoadScaledLatency`], which prices each edge's live reservation
+//!   count through [`RouteMetric::load_cost`]) steering
+//!   [`Network::request_entanglement`] and the multi-path splitter
+//!   [`Network::request_entanglement_multipath`]; failed attempts
+//!   (per-request timeout, terminal link rejection) re-plan against
+//!   current load and re-issue under a per-request retry budget
+//!   ([`Network::set_retry_budget`],
+//!   [`Network::set_request_timeout`]);
 //! * [`node`] — SWAP-ASAP state machines: repeaters swap the moment
 //!   pairs exist on both their path edges, ends collect Bell-outcome
 //!   frames; composition applies the exact simulated memory decay via
@@ -52,9 +58,11 @@ pub use network::{EndToEndOutcome, Network, TraceEntry, TraceKind};
 pub use node::{NodeAction, PathRole, SwapAsapNode};
 pub use purify::PurifyPolicy;
 pub use route::{
-    EdgeProfile, FidelityProduct, HopCount, Latency, Route, RouteMetric, RoutePlanner,
+    EdgeProfile, FidelityProduct, HopCount, Latency, LoadScaledLatency, PlanContext, Route,
+    RouteMetric, RoutePlanner,
 };
 pub use sweep::{
-    run_one, sweep, LinkScenario, MetricChoice, RunRecord, ScenarioSpec, ScenarioStats, SweepReport,
+    run_one, sweep, LinkScenario, MetricChoice, RunRecord, ScenarioSpec, ScenarioStats,
+    SweepReport, TopologyChoice,
 };
 pub use topology::{Edge, Node, Topology};

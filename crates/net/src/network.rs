@@ -29,10 +29,24 @@
 //! the topology allows, otherwise sharing edges under the EGP
 //! distributed queue's multiple-outstanding-CREATE arbitration
 //! (tracked per edge by [`Network::edge_load`]).
+//!
+//! Routing also closes the loop on live congestion: planning always
+//! sees the current per-edge reservation counts (metrics opt in via
+//! [`RouteMetric::load_cost`] — see
+//! [`LoadScaledLatency`](crate::route::LoadScaledLatency)), and
+//! failed attempts feed back as re-plans. With a per-request timeout
+//! ([`Network::set_request_timeout`]) and a retry budget
+//! ([`Network::set_retry_budget`]), a stream that stalls past its
+//! deadline or whose CREATE a link terminally rejects (UNSUPP)
+//! releases every reservation it holds and is re-planned against
+//! *current* load — excluding the edges that failed it — under its
+//! original id, `fmin`, and purification policy. Both knobs default
+//! to off, in which case no timeout events exist and no re-route
+//! randomness is drawn: earlier PRs' runs reproduce bit-for-bit.
 
 use crate::node::{NodeAction, PathRole, SwapAsapNode};
 use crate::purify::PurifyPolicy;
-use crate::route::{HopCount, Route, RouteMetric, RoutePlanner};
+use crate::route::{HopCount, PlanContext, Route, RouteMetric, RoutePlanner};
 use crate::topology::Topology;
 use qlink_des::{DetRng, EventQueue, SimDuration, SimTime};
 use qlink_quantum::bell::{bell_fidelity, werner_from_fidelity, BellState};
@@ -40,7 +54,7 @@ use qlink_quantum::ops::entanglement_swap;
 use qlink_quantum::purify::distill_werner;
 use qlink_quantum::{channels, gates, QuantumState};
 use qlink_sim::config::RequestKind;
-use qlink_sim::link::{Delivery, LinkSimulation};
+use qlink_sim::link::{Delivery, LinkSimulation, Rejection};
 use qlink_sim::workload::GeneratedRequest;
 use std::collections::HashMap;
 
@@ -78,6 +92,13 @@ enum NetEvent {
     LinkWake { link: usize, gen: u64 },
     /// Deliver a control message at node `at`.
     Control { at: usize, msg: ControlMsg },
+    /// The per-request timeout of `request`'s attempt number `attempt`
+    /// expired (stale if the request completed or was already
+    /// re-issued as a later attempt).
+    RequestTimeout { request: u64, attempt: u64 },
+    /// A failed stream's backoff elapsed: re-plan against current
+    /// load and re-issue it under its original id.
+    Reissue { request: u64 },
 }
 
 /// What kind of activity a trace entry records.
@@ -95,6 +116,11 @@ pub enum TraceKind {
     Purify(usize),
     /// An end-to-end request completed.
     Complete(u64),
+    /// A request's attempt failed (timeout or terminal link
+    /// rejection) and it is being re-routed onto a fresh path.
+    Reroute(u64),
+    /// A request exhausted its retry budget and was abandoned.
+    Timeout(u64),
 }
 
 /// One timestamped entry of the shared-clock activity trace.
@@ -197,7 +223,6 @@ struct PathRequest {
     path: Vec<usize>,
     edges: Vec<usize>,
     fmin: f64,
-    requested_at: SimTime,
     segments: Vec<Segment>,
     link_fidelities: Vec<Option<f64>>,
     ends_ready: [Option<SimTime>; 2],
@@ -213,8 +238,49 @@ struct PathRequest {
     pair_fidelities: Vec<Vec<f64>>,
     /// Link pairs delivered for this request so far.
     pairs_consumed: u32,
+    /// Retry/identity state the attempt was issued under.
+    seed: AttemptSeed,
+}
+
+/// A failed stream waiting out its re-route backoff: the seed to
+/// re-issue it under the same public id, plus what re-planning needs.
+#[derive(Debug)]
+struct ParkedReroute {
+    src: usize,
+    dst: usize,
+    fmin: f64,
+    link_purify: bool,
+    seed: AttemptSeed,
+}
+
+/// The retry/identity state an attempt is issued under — carried
+/// forward (with `attempt` bumped and the failed edges excluded) each
+/// time the re-route machinery re-issues the request.
+#[derive(Debug)]
+struct AttemptSeed {
+    /// Whether failure detection was armed when the request was first
+    /// issued. Pinned for the request's whole life: rejections of an
+    /// unarmed request stay unobserved (earlier PRs' behaviour)
+    /// however the network's knobs move afterwards, and an armed one
+    /// keeps its budget even if the knobs are later cleared.
+    armed: bool,
+    /// The per-attempt timeout the request was issued under — pinned
+    /// like `armed`, so every re-issued attempt re-arms the same
+    /// deadline whatever the network's knob says by then.
+    timeout: Option<SimDuration>,
+    /// Re-issues left before a failed attempt abandons the request.
+    retries_left: u32,
+    /// Edges barred from future re-plans (every failed attempt adds
+    /// the edges it implicates).
+    excluded: Vec<usize>,
+    /// Issue time of the *first* attempt (latency is measured from
+    /// here across every re-route).
+    requested_at: SimTime,
     /// End-to-end distillation group this stream belongs to.
     group: Option<u64>,
+    /// Attempt number, starting at 0; a [`NetEvent::RequestTimeout`]
+    /// carrying an older number is stale and ignored.
+    attempt: u64,
 }
 
 /// One completed stream of an end-to-end distillation group, parked
@@ -247,6 +313,14 @@ struct PairGroup {
     /// Whether member streams purify their edges — pinned at group
     /// creation so regeneration ignores later policy changes.
     link_purify: bool,
+    /// Failure-detection state pinned at group creation
+    /// (armed / timeout / retry budget): regenerated member streams
+    /// are issued under it, not under whatever the network's knobs
+    /// say by then — the same pin-at-issue contract single streams
+    /// keep via their [`AttemptSeed`].
+    armed: bool,
+    timeout: Option<SimDuration>,
+    retries: u32,
 }
 
 /// A multi-node quantum network on one shared event queue.
@@ -258,10 +332,16 @@ pub struct Network {
     wake_gen: Vec<u64>,
     rng: DetRng,
     purify_rng: DetRng,
+    reroute_rng: DetRng,
     requests: HashMap<u64, PathRequest>,
     groups: HashMap<u64, PairGroup>,
+    parked: HashMap<u64, ParkedReroute>,
     pending_creates: HashMap<(usize, usize, u16), u64>,
     next_request: u64,
+    retry_budget: u32,
+    request_timeout: Option<SimDuration>,
+    reroutes: u64,
+    timed_out: u64,
     outcomes: Vec<EndToEndOutcome>,
     trace: Option<Vec<TraceEntry>>,
     metric: Box<dyn RouteMetric + Send>,
@@ -290,8 +370,10 @@ impl Network {
             .iter()
             .map(|e| {
                 let mut link = LinkSimulation::new(e.link.clone());
-                // The network layer drains deliveries at every wake.
+                // The network layer drains deliveries (and terminal
+                // CREATE rejections, for re-routing) at every wake.
                 link.capture_deliveries();
+                link.capture_rejections();
                 link
             })
             .collect();
@@ -309,10 +391,18 @@ impl Network {
             queue: EventQueue::new(),
             rng: DetRng::new(seed).substream("net/swap"),
             purify_rng: DetRng::new(seed).substream("net/purify"),
+            // Re-route decisions draw from their own substream so
+            // runs without retries reproduce earlier PRs bit-for-bit.
+            reroute_rng: DetRng::new(seed).substream("net/reroute"),
             requests: HashMap::new(),
             groups: HashMap::new(),
+            parked: HashMap::new(),
             pending_creates: HashMap::new(),
             next_request: 0,
+            retry_budget: 0,
+            request_timeout: None,
+            reroutes: 0,
+            timed_out: 0,
             outcomes: Vec::new(),
             trace: None,
             metric: Box::new(HopCount),
@@ -398,6 +488,55 @@ impl Network {
         self.purify
     }
 
+    /// Sets the per-request timeout: an attempt that has not
+    /// delivered within this much simulated time of its issue fails —
+    /// it releases every reservation it holds and, with retry budget
+    /// left, re-plans against current load (excluding the failed
+    /// path's edges) and re-issues; otherwise the request is
+    /// abandoned and counted in [`Network::timeouts`].
+    ///
+    /// `None` (the default) disables timeout detection entirely: no
+    /// timeout events are scheduled and runs reproduce earlier PRs
+    /// bit-for-bit. Applies to requests issued after the call.
+    pub fn set_request_timeout(&mut self, timeout: Option<SimDuration>) {
+        self.request_timeout = timeout;
+    }
+
+    /// The per-request timeout applied to new requests.
+    pub fn request_timeout(&self) -> Option<SimDuration> {
+        self.request_timeout
+    }
+
+    /// Sets how many times a failed attempt (timeout or terminal link
+    /// rejection, UNSUPP included) may be re-planned and re-issued
+    /// before its request is abandoned. The budget is per request,
+    /// pinned at issue time; the default is 0 (no re-routing).
+    pub fn set_retry_budget(&mut self, retries: u32) {
+        self.retry_budget = retries;
+    }
+
+    /// The retry budget granted to new requests.
+    pub fn retry_budget(&self) -> u32 {
+        self.retry_budget
+    }
+
+    /// Attempts re-planned and re-issued after a failure, in total.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// Requests abandoned after exhausting their retry budget.
+    pub fn timeouts(&self) -> u64 {
+        self.timed_out
+    }
+
+    /// Whether failures are acted on at all: with no timeout *and* no
+    /// retry budget, rejection handling stays fully inert so earlier
+    /// PRs' runs reproduce bit-for-bit.
+    fn reroute_enabled(&self) -> bool {
+        self.retry_budget > 0 || self.request_timeout.is_some()
+    }
+
     /// Total NL pairs the link layer has delivered on edge `edge` for
     /// network requests (the raw pair cost purification spends).
     pub fn pairs_delivered(&self, edge: usize) -> u64 {
@@ -427,25 +566,66 @@ impl Network {
     /// fidelity ceiling is below `fmin` are excluded — for *every*
     /// metric, hop count included, because a link whose FEU cannot
     /// reach `fmin` would reject the CREATE as UNSUPP and the request
-    /// would hang on a dead route. Planning is pure — nothing is
-    /// reserved. (The planner's edge profiles are built lazily on the
-    /// first call and reused for the life of the network.)
+    /// would hang on a dead route. Planning always sees the *live*
+    /// per-edge reservation counts ([`Network::edge_load`]) through
+    /// [`RouteMetric::load_cost`]; the static metrics ignore them by
+    /// default, [`crate::route::LoadScaledLatency`] prices them in.
+    /// Planning is pure — nothing is reserved. (The planner's edge
+    /// profiles are built lazily on the first call and reused for the
+    /// life of the network.)
     ///
     /// # Panics
     /// Panics on out-of-range nodes, `src == dst`, or `k == 0`.
     pub fn plan_routes(&mut self, src: usize, dst: usize, fmin: f64, k: usize) -> Vec<Route> {
+        self.plan_routes_avoiding(src, dst, fmin, k, &[])
+    }
+
+    /// [`Network::plan_routes`] with an additional set of barred
+    /// edges — what a re-route uses to steer around the path that
+    /// just failed.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes, `src == dst`, or `k == 0`.
+    pub fn plan_routes_avoiding(
+        &mut self,
+        src: usize,
+        dst: usize,
+        fmin: f64,
+        k: usize,
+        exclude: &[usize],
+    ) -> Vec<Route> {
+        self.plan_with_policy(src, dst, fmin, k, exclude, self.purify)
+    }
+
+    /// The planning primitive: current metric + live loads, explicit
+    /// exclusions, and an explicit purification policy (re-routes
+    /// price under the policy their request was *issued* with, not
+    /// the network's current one).
+    fn plan_with_policy(
+        &mut self,
+        src: usize,
+        dst: usize,
+        fmin: f64,
+        k: usize,
+        exclude: &[usize],
+        purify: PurifyPolicy,
+    ) -> Vec<Route> {
         if self.planner.is_none() {
             self.planner = Some(RoutePlanner::new(&self.topo));
         }
         let planner = self.planner.as_ref().expect("planner just built");
-        planner.k_shortest_paths_with(
+        planner.k_shortest_paths_in(
             &self.topo,
             src,
             dst,
             k,
             self.metric.as_ref(),
             fmin,
-            self.purify,
+            &PlanContext {
+                purify,
+                loads: &self.edge_load,
+                exclude,
+            },
         )
     }
 
@@ -533,7 +713,7 @@ impl Network {
         let mut routes: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
         for (i, m) in members.iter().enumerate() {
             let req = self.requests.get_mut(m).expect("member just issued");
-            req.group = Some(group);
+            req.seed.group = Some(group);
             routes[i] = req.path.clone();
         }
         self.groups.insert(
@@ -547,6 +727,9 @@ impl Network {
                 swaps: 0,
                 pairs_consumed: 0,
                 link_purify: self.purify == PurifyPolicy::LinkLevel,
+                armed: self.reroute_enabled(),
+                timeout: self.request_timeout,
+                retries: self.retry_budget,
             },
         );
         group
@@ -566,18 +749,56 @@ impl Network {
     }
 
     /// [`Network::request_on_path`] with the edge-purification choice
-    /// pinned by the caller — group regeneration reissues streams
-    /// under the policy their group was *created* with, whatever the
-    /// network's current policy is.
+    /// pinned by the caller, issued under the network's current
+    /// failure-detection knobs.
     fn issue_on_path(&mut self, path: &[usize], fmin: f64, link_purify: bool) -> u64 {
+        let seed = AttemptSeed {
+            armed: self.reroute_enabled(),
+            timeout: self.request_timeout,
+            retries_left: self.retry_budget,
+            excluded: Vec::new(),
+            requested_at: self.queue.now(),
+            group: None,
+            attempt: 0,
+        };
+        self.issue_fresh(path, fmin, link_purify, seed)
+    }
+
+    /// Allocates a new request id and issues its first attempt under
+    /// an explicit seed — group regeneration builds the seed from the
+    /// state its group was *created* with, whatever the network's
+    /// knobs say by then.
+    fn issue_fresh(
+        &mut self,
+        path: &[usize],
+        fmin: f64,
+        link_purify: bool,
+        seed: AttemptSeed,
+    ) -> u64 {
+        let id = self.next_request;
+        self.next_request += 1;
+        self.issue_attempt(id, path, fmin, link_purify, seed);
+        id
+    }
+
+    /// Reserves `path` and issues its CREATEs for an existing request
+    /// id, under the given retry/identity state — both the first
+    /// attempt of a fresh request and every re-routed attempt land
+    /// here.
+    fn issue_attempt(
+        &mut self,
+        id: u64,
+        path: &[usize],
+        fmin: f64,
+        link_purify: bool,
+        seed: AttemptSeed,
+    ) {
         assert!(path.len() >= 2, "a path needs two ends");
         let path = path.to_vec();
         let edges = self.topo.path_edges(&path);
         for &e in &edges {
             self.edge_load[e] += 1;
         }
-        let id = self.next_request;
-        self.next_request += 1;
 
         let repeaters = (path.len() - 2) as u32;
         for (i, &n) in path.iter().enumerate() {
@@ -603,11 +824,22 @@ impl Network {
                 self.nodes[n].reserve(id, role);
             }
         }
+        // Arm this attempt's failure detection (no event at all when
+        // the request was issued without a timeout — earlier PRs'
+        // event streams must reproduce exactly).
+        if let Some(timeout) = seed.timeout {
+            self.queue.schedule_in(
+                timeout,
+                NetEvent::RequestTimeout {
+                    request: id,
+                    attempt: seed.attempt,
+                },
+            );
+        }
         self.requests.insert(
             id,
             PathRequest {
                 fmin,
-                requested_at: self.queue.now(),
                 segments: Vec::new(),
                 link_fidelities: vec![None; edges.len()],
                 ends_ready: [None, None],
@@ -617,9 +849,9 @@ impl Network {
                 purify_pending: vec![false; edges.len()],
                 pair_fidelities: vec![Vec::new(); edges.len()],
                 pairs_consumed: 0,
-                group: None,
                 path,
                 edges,
+                seed,
             },
         );
 
@@ -627,7 +859,6 @@ impl Network {
         // theirs when the reservation reaches them.
         self.submit_edge_creates(id, 0, fmin);
         self.forward_reserve(id, 0);
-        id
     }
 
     /// Requests `streams` concurrent end-to-end entanglements between
@@ -748,6 +979,10 @@ impl Network {
                 self.edge_load[e] -= 1;
             }
         }
+        // A stream parked between failure and re-issue holds no
+        // reservations (its failing attempt released them); dropping
+        // the parked state is all a cancel needs.
+        self.parked.remove(&request);
         self.pending_creates.retain(|_, r| *r != request);
     }
 
@@ -793,6 +1028,10 @@ impl Network {
                 for d in deliveries {
                     self.on_delivery(link, d, t);
                 }
+                let rejections = self.links[link].drain_rejections();
+                for r in rejections {
+                    self.on_rejection(link, r, t);
+                }
                 self.schedule_wake(link);
             }
             NetEvent::Control { at, msg } => {
@@ -819,6 +1058,10 @@ impl Network {
                     }
                 }
             }
+            NetEvent::RequestTimeout { request, attempt } => {
+                self.on_request_timeout(request, attempt, t);
+            }
+            NetEvent::Reissue { request } => self.on_reissue(request, t),
         }
     }
 
@@ -893,6 +1136,180 @@ impl Network {
         let fmin = req.fmin;
         self.submit_edge_creates(request, pos, fmin);
         self.forward_reserve(request, pos);
+    }
+
+    /// A link terminally rejected one of this network's CREATEs
+    /// (UNSUPP and friends). A stream issued with failure detection
+    /// armed fails *now* — releasing its reservations and trying
+    /// another path — instead of idling until some timeout notices;
+    /// an unarmed stream leaves the rejection unobserved, exactly as
+    /// in earlier PRs (it surfaces as a driver-level timeout). The
+    /// choice is the request's `armed` flag, pinned at issue time, so
+    /// knob changes mid-flight never strand or surprise a stream.
+    fn on_rejection(&mut self, edge_idx: usize, r: Rejection, t: SimTime) {
+        let key = (edge_idx, r.origin, r.create_id);
+        let Some(&request) = self.pending_creates.get(&key) else {
+            return; // a purged or completed request's stray CREATE
+        };
+        if !self
+            .requests
+            .get(&request)
+            .is_some_and(|req| req.seed.armed)
+        {
+            return;
+        }
+        self.pending_creates.remove(&key);
+        self.fail_attempt(request, Some(edge_idx), t);
+    }
+
+    /// A request's per-attempt timeout fired. Stale timers (the
+    /// attempt completed or was already re-issued) carry an older
+    /// attempt number and are ignored.
+    fn on_request_timeout(&mut self, request: u64, attempt: u64, t: SimTime) {
+        let current = self.requests.get(&request).map(|req| req.seed.attempt);
+        if current != Some(attempt) {
+            return;
+        }
+        self.fail_attempt(request, None, t);
+    }
+
+    /// Fails the current attempt of `request`: releases every
+    /// reservation it holds (node state, edge loads, pending CREATEs),
+    /// extends its excluded-edge set — the specific rejecting edge
+    /// when known, the whole failed path on a timeout — and either
+    /// parks it for re-issue (budget left) or abandons it.
+    ///
+    /// Known limitation (as for [`Network::cancel_request`]): the
+    /// attempt's CREATEs already queued inside the links' EGPs cannot
+    /// be retracted — their pairs, if served, are simply discarded —
+    /// so for a short window after a timeout storm `edge_load`
+    /// under-counts the true backlog of the edges that just failed.
+    /// Excluding those edges from the re-plan is what keeps re-issued
+    /// attempts from piling back onto them; a link-layer
+    /// CREATE-retract (EXPIRE) hook is a ROADMAP item.
+    fn fail_attempt(&mut self, request: u64, failed_edge: Option<usize>, t: SimTime) {
+        let Some(req) = self.requests.remove(&request) else {
+            return;
+        };
+        for &n in &req.path {
+            self.nodes[n].release(request);
+        }
+        for &e in &req.edges {
+            self.edge_load[e] -= 1;
+        }
+        self.pending_creates.retain(|_, r| *r != request);
+
+        let mut excluded = req.seed.excluded;
+        let implicated: &[usize] = match failed_edge {
+            Some(ref e) => std::slice::from_ref(e),
+            None => &req.edges,
+        };
+        for &e in implicated {
+            if !excluded.contains(&e) {
+                excluded.push(e);
+            }
+        }
+
+        if req.seed.retries_left == 0 {
+            self.timed_out += 1;
+            self.record(t, TraceKind::Timeout(request));
+            if let Some(group) = req.seed.group {
+                self.abandon_group(group, request);
+            }
+            return;
+        }
+
+        // Park and re-issue after a jittered backoff: the release has
+        // to propagate along the old path's control channels before
+        // its capacity is really free, and the jitter (drawn from the
+        // dedicated `net/reroute` substream — runs without re-routes
+        // never touch it) desynchronises the retry storm of streams
+        // that all timed out at the same instant.
+        self.reroutes += 1;
+        self.record(t, TraceKind::Reroute(request));
+        let base = self.topo.path_control_delay(&req.path).as_secs_f64();
+        let backoff = SimDuration::from_secs_f64(base * (1.0 + self.reroute_rng.uniform()));
+        self.parked.insert(
+            request,
+            ParkedReroute {
+                src: req.path[0],
+                dst: *req.path.last().expect("a path has two ends"),
+                fmin: req.fmin,
+                link_purify: req.link_purify,
+                seed: AttemptSeed {
+                    excluded,
+                    retries_left: req.seed.retries_left - 1,
+                    attempt: req.seed.attempt + 1,
+                    ..req.seed
+                },
+            },
+        );
+        self.queue
+            .schedule_in(backoff, NetEvent::Reissue { request });
+    }
+
+    /// A failed stream's backoff elapsed: re-plan against the
+    /// *current* loads and profiles — first barring every excluded
+    /// edge, then (if that disconnects the pair) with the bars
+    /// lifted, then best-effort ignoring `fmin` — and re-issue under
+    /// the original id, fmin, and purification policy.
+    fn on_reissue(&mut self, request: u64, _t: SimTime) {
+        let Some(p) = self.parked.remove(&request) else {
+            return; // cancelled while parked
+        };
+        let policy = if p.link_purify {
+            PurifyPolicy::LinkLevel
+        } else {
+            PurifyPolicy::Off
+        };
+        let route = self
+            .plan_with_policy(p.src, p.dst, p.fmin, 1, &p.seed.excluded, policy)
+            .into_iter()
+            .next()
+            .or_else(|| {
+                self.plan_with_policy(p.src, p.dst, p.fmin, 1, &[], policy)
+                    .into_iter()
+                    .next()
+            })
+            .or_else(|| {
+                self.plan_with_policy(p.src, p.dst, 0.0, 1, &[], policy)
+                    .into_iter()
+                    .next()
+            });
+        let Some(route) = route else {
+            // Disconnected pair (cannot happen for a request that was
+            // issued at all): abandon.
+            self.timed_out += 1;
+            if let Some(group) = p.seed.group {
+                self.abandon_group(group, request);
+            }
+            return;
+        };
+        // A re-routed group member retargets its group's route record
+        // so a later parity-reject regenerates on the *new* path.
+        if let Some(group) = p.seed.group {
+            if let Some(g) = self.groups.get_mut(&group) {
+                if let Some(i) = g.members.iter().position(|&m| m == request) {
+                    g.routes[i] = route.nodes.clone();
+                }
+            }
+        }
+        self.issue_attempt(request, &route.nodes, p.fmin, p.link_purify, p.seed);
+    }
+
+    /// A member stream of an end-to-end distillation group was
+    /// abandoned: the group can never deliver, so drop it whole —
+    /// cancel the partner stream (releasing its reservations) and
+    /// discard any parked pair.
+    fn abandon_group(&mut self, group: u64, failed_member: u64) {
+        let Some(g) = self.groups.remove(&group) else {
+            return;
+        };
+        for member in g.members {
+            if member != failed_member {
+                self.cancel_request(member);
+            }
+        }
     }
 
     fn on_delivery(&mut self, edge_idx: usize, d: Delivery, t: SimTime) {
@@ -1212,7 +1629,7 @@ impl Network {
             .iter()
             .map(|f| f.expect("complete path with missing link fidelity"))
             .collect();
-        if let Some(group) = req.group {
+        if let Some(group) = req.seed.group {
             self.on_member_complete(
                 group,
                 GroupMember {
@@ -1233,7 +1650,7 @@ impl Network {
             request,
             link_fidelities,
             end_to_end_fidelity: fidelity,
-            latency: t.since(req.requested_at),
+            latency: t.since(req.seed.requested_at),
             delivered_at: t,
             swaps: req.swaps,
             frame_z: req.frame.0,
@@ -1317,13 +1734,23 @@ impl Network {
             let routes = g.routes.clone();
             let fmin = g.fmin;
             let link_purify = g.link_purify;
+            let (armed, timeout, retries) = (g.armed, g.timeout, g.retries);
             let mut members = [0u64; 2];
             for (i, route) in routes.iter().enumerate() {
-                members[i] = self.issue_on_path(route, fmin, link_purify);
-                self.requests
-                    .get_mut(&members[i])
-                    .expect("member just issued")
-                    .group = Some(group);
+                // Regenerated members run under the group's pinned
+                // failure-detection state, with a fresh retry budget
+                // (like the original members) and the group id set
+                // from birth.
+                let seed = AttemptSeed {
+                    armed,
+                    timeout,
+                    retries_left: retries,
+                    excluded: Vec::new(),
+                    requested_at: self.queue.now(),
+                    group: Some(group),
+                    attempt: 0,
+                };
+                members[i] = self.issue_fresh(route, fmin, link_purify, seed);
             }
             self.groups.get_mut(&group).expect("group survives").members = members;
             return;

@@ -230,9 +230,18 @@ impl SwapAsapNode {
         assert!(prev.is_none(), "request {request} reserved twice");
     }
 
-    /// Releases a path reservation (completion or timeout).
-    pub fn release(&mut self, request: u64) {
-        self.paths.remove(&request);
+    /// `true` while `request` holds a reservation at this node.
+    pub fn is_reserved(&self, request: u64) -> bool {
+        self.paths.contains_key(&request)
+    }
+
+    /// Releases a path reservation (completion, timeout, or re-route
+    /// abort); returns whether one existed. Aborting a request that
+    /// was never reserved here is a no-op — the re-route machinery
+    /// releases along the *old* path, which may no longer include
+    /// this node.
+    pub fn release(&mut self, request: u64) -> bool {
+        self.paths.remove(&request).is_some()
     }
 
     /// Observation: a link pair on `edge` now exists for `request`.
@@ -461,6 +470,18 @@ mod tests {
         n.reserve(1, PathRole::Repeater { left: 0, right: 1 });
         n.release(1);
         assert_eq!(n.on_pair(1, 0), None);
+    }
+
+    #[test]
+    fn release_reports_whether_a_reservation_existed() {
+        let mut n = SwapAsapNode::new();
+        assert!(!n.is_reserved(5));
+        assert!(!n.release(5), "releasing a stranger is a no-op");
+        n.reserve(5, PathRole::Repeater { left: 0, right: 1 });
+        assert!(n.is_reserved(5));
+        assert!(n.release(5));
+        assert!(!n.is_reserved(5));
+        assert!(!n.release(5), "double release is a no-op");
     }
 
     #[test]

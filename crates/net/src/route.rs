@@ -17,7 +17,19 @@
 //! * [`Latency`] — minimise the summed expected generation latency;
 //! * [`FidelityProduct`] — maximise the product of link fidelities
 //!   (additive as `-ln F`, the standard trick for multiplicative
-//!   route metrics).
+//!   route metrics);
+//! * [`LoadScaledLatency`] — congestion-aware latency: every
+//!   outstanding reservation already queued on an edge multiplies its
+//!   expected generation latency, so concurrent requests spread over
+//!   a mesh instead of piling onto the statically cheapest path.
+//!
+//! Load awareness enters through [`RouteMetric::load_cost`]: the
+//! planner hands every metric the edge's *live* reservation count
+//! ([`Network::edge_load`](crate::network::Network::edge_load)) at
+//! plan time via [`PlanContext::loads`], and the default
+//! implementation ignores it — so the static metrics price routes
+//! exactly as before, and only metrics that opt in (currently
+//! [`LoadScaledLatency`]) react to congestion.
 //!
 //! Purifying routes are priced through the same machinery: each
 //! profile also carries the **distilled** figures of its edge
@@ -140,6 +152,26 @@ pub trait RouteMetric {
     fn purified_cost(&self, profile: &EdgeProfile) -> f64 {
         self.edge_cost(profile)
     }
+
+    /// The cost of traversing the edge while `load` other path
+    /// reservations are already queued on it (the EGP's distributed
+    /// queue serves their CREATEs in order, ahead of a new one).
+    ///
+    /// Defaults to a pure passthrough to [`RouteMetric::edge_cost`] —
+    /// static metrics are unaffected by congestion, which keeps their
+    /// route choices (and therefore regression runs) bit-identical
+    /// whether or not the planner supplies live loads.
+    fn load_cost(&self, profile: &EdgeProfile, load: u32) -> f64 {
+        let _ = load;
+        self.edge_cost(profile)
+    }
+
+    /// [`RouteMetric::load_cost`] for a purifying route (see
+    /// [`RouteMetric::purified_cost`]). Defaults to ignoring the load.
+    fn purified_load_cost(&self, profile: &EdgeProfile, load: u32) -> f64 {
+        let _ = load;
+        self.purified_cost(profile)
+    }
 }
 
 /// PR 1's metric: every edge costs 1; shortest path = fewest hops.
@@ -198,6 +230,72 @@ impl RouteMetric for FidelityProduct {
         } else {
             -profile.purified_fidelity.ln()
         }
+    }
+}
+
+/// Congestion-aware latency: an edge's expected generation latency,
+/// multiplied by one plus the number of path reservations already
+/// queued on it.
+///
+/// The EGP's distributed queue serves multiple outstanding CREATEs in
+/// queue order, so a new reservation on an edge carrying `load`
+/// others waits (to first order) `load` full pair generations before
+/// its own begins — the edge's *effective* latency is
+/// `(1 + load) × expected_latency`. Pricing that at plan time makes
+/// concurrent requests spread across a mesh: each issued reservation
+/// raises the cost its successors see, steering them onto idle edges
+/// without any explicit disjointness constraint.
+///
+/// With no load information (or an idle network) this metric is
+/// identical to [`Latency`].
+///
+/// # Examples
+///
+/// ```
+/// use qlink_net::route::{EdgeProfile, Latency, LoadScaledLatency, RouteMetric, RoutePlanner};
+/// use qlink_net::topology::Topology;
+/// use qlink_sim::config::LinkConfig;
+/// use qlink_sim::workload::WorkloadSpec;
+///
+/// let topo = Topology::chain(2, |_| LinkConfig::lab(WorkloadSpec::none(), 7));
+/// let planner = RoutePlanner::new(&topo);
+/// let profile = planner.profile(0);
+///
+/// // Unloaded, the metric agrees with plain latency…
+/// assert_eq!(
+///     LoadScaledLatency.load_cost(profile, 0),
+///     Latency.edge_cost(profile),
+/// );
+/// // …and every queued reservation adds one expected generation.
+/// assert_eq!(
+///     LoadScaledLatency.load_cost(profile, 3),
+///     4.0 * Latency.edge_cost(profile),
+/// );
+/// // Static metrics ignore the load entirely (default passthrough).
+/// assert_eq!(Latency.load_cost(profile, 3), Latency.edge_cost(profile));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadScaledLatency;
+
+impl RouteMetric for LoadScaledLatency {
+    fn name(&self) -> &'static str {
+        "load-latency"
+    }
+
+    fn edge_cost(&self, profile: &EdgeProfile) -> f64 {
+        profile.expected_latency.as_secs_f64()
+    }
+
+    fn purified_cost(&self, profile: &EdgeProfile) -> f64 {
+        profile.purified_latency.as_secs_f64()
+    }
+
+    fn load_cost(&self, profile: &EdgeProfile, load: u32) -> f64 {
+        (1.0 + f64::from(load)) * profile.expected_latency.as_secs_f64()
+    }
+
+    fn purified_load_cost(&self, profile: &EdgeProfile, load: u32) -> f64 {
+        (1.0 + f64::from(load)) * profile.purified_latency.as_secs_f64()
     }
 }
 
@@ -301,17 +399,22 @@ impl RoutePlanner {
         &'a self,
         metric: &'a dyn RouteMetric,
         fmin: f64,
-        purify: PurifyPolicy,
+        ctx: &'a PlanContext<'a>,
     ) -> impl Fn(usize) -> f64 + 'a {
-        let purified = purify.prices_purified_edges();
+        let purified = ctx.purify.prices_purified_edges();
         move |edge| {
             let p = &self.profiles[edge];
-            if p.fidelity_ceiling < fmin {
-                f64::INFINITY // the link would reject the CREATE (UNSUPP)
-            } else if purified {
-                metric.purified_cost(p)
+            if p.fidelity_ceiling < fmin || ctx.exclude.contains(&edge) {
+                // UNSUPP-infeasible or explicitly barred (re-route
+                // away from a failed edge): treat as absent.
+                f64::INFINITY
             } else {
-                metric.edge_cost(p)
+                let load = ctx.loads.get(edge).copied().unwrap_or(0);
+                if purified {
+                    metric.purified_load_cost(p, load)
+                } else {
+                    metric.load_cost(p, load)
+                }
             }
         }
     }
@@ -350,7 +453,37 @@ impl RoutePlanner {
         fmin: f64,
         purify: PurifyPolicy,
     ) -> Option<Route> {
-        dijkstra(topo, src, dst, &self.cost_fn(metric, fmin, purify), None)
+        self.shortest_path_in(
+            topo,
+            src,
+            dst,
+            metric,
+            fmin,
+            &PlanContext {
+                purify,
+                ..PlanContext::default()
+            },
+        )
+    }
+
+    /// [`RoutePlanner::shortest_path_with`] under a full
+    /// [`PlanContext`]: purification pricing, live per-edge loads
+    /// (each priced through [`RouteMetric::load_cost`]), and an
+    /// excluded-edge set (re-routing bars the edges of a failed
+    /// attempt).
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or `src == dst`.
+    pub fn shortest_path_in(
+        &self,
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+        metric: &dyn RouteMetric,
+        fmin: f64,
+        ctx: &PlanContext<'_>,
+    ) -> Option<Route> {
+        dijkstra(topo, src, dst, &self.cost_fn(metric, fmin, ctx), None)
     }
 
     /// Up to `k` loopless paths in non-decreasing `metric` cost
@@ -386,8 +519,59 @@ impl RoutePlanner {
         fmin: f64,
         purify: PurifyPolicy,
     ) -> Vec<Route> {
-        yen(topo, src, dst, k, &self.cost_fn(metric, fmin, purify))
+        self.k_shortest_paths_in(
+            topo,
+            src,
+            dst,
+            k,
+            metric,
+            fmin,
+            &PlanContext {
+                purify,
+                ..PlanContext::default()
+            },
+        )
     }
+
+    /// [`RoutePlanner::k_shortest_paths_with`] under a full
+    /// [`PlanContext`] (see [`RoutePlanner::shortest_path_in`]).
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes, `src == dst`, or `k == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn k_shortest_paths_in(
+        &self,
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+        k: usize,
+        metric: &dyn RouteMetric,
+        fmin: f64,
+        ctx: &PlanContext<'_>,
+    ) -> Vec<Route> {
+        yen(topo, src, dst, k, &self.cost_fn(metric, fmin, ctx))
+    }
+}
+
+/// The situational half of a planning query: everything beyond the
+/// metric and the fidelity floor that shapes an edge's price.
+///
+/// The default context — no purification, no loads, nothing excluded
+/// — reproduces the static planning of
+/// [`RoutePlanner::shortest_path`] exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanContext<'a> {
+    /// Purification policy the route will run under; purifying
+    /// policies price edges via [`RouteMetric::purified_load_cost`].
+    pub purify: PurifyPolicy,
+    /// Live reservation count per edge index
+    /// ([`Network::edge_load`](crate::network::Network::edge_load)),
+    /// fed to [`RouteMetric::load_cost`]. Edges beyond the slice (or
+    /// an empty slice) count as unloaded.
+    pub loads: &'a [u32],
+    /// Edges treated as absent regardless of cost — the re-route
+    /// machinery bars the edges of a failed attempt here.
+    pub exclude: &'a [usize],
 }
 
 /// Edges (and via them, nodes) temporarily removed from the graph
@@ -676,6 +860,98 @@ mod tests {
         assert_eq!(HopCount.name(), "hops");
         assert_eq!(Latency.name(), "latency");
         assert_eq!(FidelityProduct.name(), "fidelity");
+        assert_eq!(LoadScaledLatency.name(), "load-latency");
+    }
+
+    #[test]
+    fn load_scaled_latency_spreads_onto_the_longer_arm() {
+        // Identical Lab links: unloaded, the direct 0-3 edge wins; with
+        // enough reservations queued on it, the 3-hop arm gets cheaper.
+        let t = ring();
+        let planner = RoutePlanner::new(&t);
+        let unloaded = planner
+            .shortest_path_in(&t, 0, 3, &LoadScaledLatency, 0.0, &PlanContext::default())
+            .expect("connected");
+        assert_eq!(unloaded.nodes, vec![0, 3]);
+
+        let loads = [0, 0, 0, 4]; // four reservations on the direct edge
+        let loaded = planner
+            .shortest_path_in(
+                &t,
+                0,
+                3,
+                &LoadScaledLatency,
+                0.0,
+                &PlanContext {
+                    loads: &loads,
+                    ..PlanContext::default()
+                },
+            )
+            .expect("connected");
+        assert_eq!(loaded.nodes, vec![0, 1, 2, 3], "load pushes traffic off");
+
+        // A static metric sees the same loads and ignores them.
+        let static_pick = planner
+            .shortest_path_in(
+                &t,
+                0,
+                3,
+                &Latency,
+                0.0,
+                &PlanContext {
+                    loads: &loads,
+                    ..PlanContext::default()
+                },
+            )
+            .expect("connected");
+        assert_eq!(static_pick.nodes, vec![0, 3]);
+    }
+
+    #[test]
+    fn excluded_edges_are_treated_as_absent() {
+        let t = ring();
+        let planner = RoutePlanner::new(&t);
+        let detour = planner
+            .shortest_path_in(
+                &t,
+                0,
+                3,
+                &HopCount,
+                0.0,
+                &PlanContext {
+                    exclude: &[3],
+                    ..PlanContext::default()
+                },
+            )
+            .expect("the long arm remains");
+        assert_eq!(detour.nodes, vec![0, 1, 2, 3]);
+        // Excluding every incident edge disconnects the pair.
+        assert!(planner
+            .shortest_path_in(
+                &t,
+                0,
+                3,
+                &HopCount,
+                0.0,
+                &PlanContext {
+                    exclude: &[0, 3],
+                    ..PlanContext::default()
+                },
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn purified_load_cost_scales_the_purified_figure() {
+        let t = ring();
+        let planner = RoutePlanner::new(&t);
+        let p = planner.profile(0);
+        assert_eq!(
+            LoadScaledLatency.purified_load_cost(p, 2),
+            3.0 * LoadScaledLatency.purified_cost(p)
+        );
+        // Default passthrough for static metrics.
+        assert_eq!(Latency.purified_load_cost(p, 2), Latency.purified_cost(p));
     }
 
     #[test]

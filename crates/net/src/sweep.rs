@@ -10,7 +10,7 @@
 
 use crate::network::Network;
 use crate::purify::PurifyPolicy;
-use crate::route::{FidelityProduct, HopCount, Latency};
+use crate::route::{FidelityProduct, HopCount, Latency, LoadScaledLatency};
 use crate::topology::Topology;
 use qlink_des::{DetRng, SimDuration};
 use qlink_math::stats::RunningStats;
@@ -40,6 +40,25 @@ pub enum MetricChoice {
     Latency,
     /// Maximise the product of link fidelities.
     Fidelity,
+    /// Congestion-aware latency: expected generation latency scaled
+    /// by each edge's live reservation count
+    /// ([`crate::route::LoadScaledLatency`]).
+    LoadLatency,
+}
+
+/// Which topology a sweep run instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyChoice {
+    /// A linear chain of [`ScenarioSpec::nodes`] nodes.
+    Chain,
+    /// A rows × cols mesh ([`Topology::grid`]) — the contended
+    /// workload class: many equal-length paths between most pairs.
+    Grid {
+        /// Grid rows (≥ 2).
+        rows: usize,
+        /// Grid columns (≥ 2).
+        cols: usize,
+    },
 }
 
 /// A data-only description of one sweep scenario: a repeater chain
@@ -100,6 +119,29 @@ pub struct ScenarioSpec {
     /// distillation can be generated. `None` keeps the scenario's
     /// Table 6 hardware value.
     pub carbon_t2: Option<f64>,
+    /// Shape of each run's topology (chain by default; grids open the
+    /// contended-mesh workload class).
+    pub topology: TopologyChoice,
+    /// Explicit concurrent `(src, dst)` requests per round. Empty
+    /// (the default) keeps the classic workload: `streams` same-pair
+    /// requests between node 0 and the last node. Non-empty, each
+    /// round issues one request per listed pair concurrently —
+    /// network-wide contention rather than same-pair multipath — and
+    /// `streams` is ignored.
+    pub pairs: Vec<(usize, usize)>,
+    /// Re-route budget per request
+    /// ([`Network::set_retry_budget`](crate::network::Network::set_retry_budget)):
+    /// how many times a timed-out or link-rejected attempt re-plans
+    /// against live load and re-issues. 0 (the default) disables
+    /// re-routing entirely.
+    pub retries: u32,
+    /// Per-attempt timeout
+    /// ([`Network::set_request_timeout`](crate::network::Network::set_request_timeout)).
+    /// `None` (the default) schedules no timeout events, reproducing
+    /// earlier PRs' event streams bit-for-bit; re-route on *timeout*
+    /// (rather than on link rejection) needs it set below
+    /// [`ScenarioSpec::max_time`].
+    pub request_timeout: Option<SimDuration>,
 }
 
 impl ScenarioSpec {
@@ -120,7 +162,25 @@ impl ScenarioSpec {
             streams: 1,
             purify: PurifyPolicy::Off,
             carbon_t2: None,
+            topology: TopologyChoice::Chain,
+            pairs: Vec::new(),
+            retries: 0,
+            request_timeout: None,
         }
+    }
+
+    /// A Lab-scenario rows × cols grid mesh with the same defaults as
+    /// [`ScenarioSpec::lab_chain`]; pair the builder with
+    /// [`ScenarioSpec::with_pairs`] to put concurrent cross-traffic
+    /// on it.
+    ///
+    /// # Panics
+    /// Panics unless both dimensions are at least 2.
+    pub fn lab_grid(name: impl Into<String>, rows: usize, cols: usize) -> Self {
+        assert!(rows >= 2 && cols >= 2, "a grid needs both dimensions ≥ 2");
+        let mut spec = Self::lab_chain(name, rows * cols);
+        spec.topology = TopologyChoice::Grid { rows, cols };
+        spec
     }
 
     /// Builder: rounds per run.
@@ -159,11 +219,40 @@ impl ScenarioSpec {
         self
     }
 
+    /// Builder: explicit concurrent `(src, dst)` requests per round
+    /// (overrides the default node-0-to-last workload; `streams` is
+    /// then ignored).
+    pub fn with_pairs(mut self, pairs: Vec<(usize, usize)>) -> Self {
+        self.pairs = pairs;
+        self
+    }
+
+    /// Builder: per-request re-route budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Builder: per-attempt timeout (arming timeout-driven
+    /// re-routing).
+    pub fn with_request_timeout(mut self, timeout: SimDuration) -> Self {
+        self.request_timeout = Some(timeout);
+        self
+    }
+
+    /// Number of nodes in the run's topology, whatever its shape.
+    pub fn node_count(&self) -> usize {
+        match self.topology {
+            TopologyChoice::Chain => self.nodes,
+            TopologyChoice::Grid { rows, cols } => rows * cols,
+        }
+    }
+
     /// Builds the run's topology with per-edge seeds derived from the
     /// run seed (stable per edge index, independent across edges).
     fn topology(&self, run_seed: u64) -> Topology {
         let root = DetRng::new(run_seed);
-        Topology::chain(self.nodes, |i| {
+        let mut link = |i: usize| {
             let seed = root.substream(&format!("edge/{i}")).seed();
             let mut cfg = match self.scenario {
                 LinkScenario::Lab => LinkConfig::lab(WorkloadSpec::none(), seed),
@@ -174,7 +263,11 @@ impl ScenarioSpec {
             }
             cfg.with_scheduler(self.scheduler)
                 .with_classical_loss(self.classical_loss)
-        })
+        };
+        match self.topology {
+            TopologyChoice::Chain => Topology::chain(self.nodes, link),
+            TopologyChoice::Grid { rows, cols } => Topology::grid(rows, cols, &mut link),
+        }
     }
 }
 
@@ -203,6 +296,13 @@ pub struct RunRecord {
     /// spends several per edge; see
     /// [`EndToEndOutcome::pairs_consumed`](crate::network::EndToEndOutcome)).
     pub pairs_consumed: u64,
+    /// Requests that failed to deliver within their round's budget —
+    /// abandoned by the network's own timeout/rejection handling or
+    /// still pending when the round's simulated-time budget ran out.
+    pub timeouts: u32,
+    /// Failed attempts the network re-planned and re-issued
+    /// ([`Network::reroutes`](crate::network::Network::reroutes)).
+    pub reroutes: u64,
     /// Total events fired (shared queue + all links).
     pub events: u64,
 }
@@ -225,6 +325,11 @@ pub struct ScenarioStats {
     pub latency_s: RunningStats,
     /// Link pairs consumed by delivered outcomes across runs.
     pub pairs_consumed: u64,
+    /// Requests that failed to deliver within budget, across runs
+    /// (see [`RunRecord::timeouts`]).
+    pub timeouts: u32,
+    /// Re-planned and re-issued attempts across runs.
+    pub reroutes: u64,
     /// Total events fired across runs.
     pub events: u64,
 }
@@ -254,9 +359,12 @@ pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
         MetricChoice::Hops => net.set_route_metric(HopCount),
         MetricChoice::Latency => net.set_route_metric(Latency),
         MetricChoice::Fidelity => net.set_route_metric(FidelityProduct),
+        MetricChoice::LoadLatency => net.set_route_metric(LoadScaledLatency),
     }
     net.set_purify_policy(spec.purify);
-    let dst = spec.nodes - 1;
+    net.set_retry_budget(spec.retries);
+    net.set_request_timeout(spec.request_timeout);
+    let dst = spec.node_count() - 1;
     let streams = spec.streams.max(1);
     let mut record = RunRecord {
         scenario: 0,
@@ -266,15 +374,26 @@ pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
         fidelity: RunningStats::new(),
         latency_s: RunningStats::new(),
         pairs_consumed: 0,
+        timeouts: 0,
+        reroutes: 0,
         events: 0,
     };
     for _ in 0..spec.rounds {
-        // Under EndToEnd a round is one logical request (two internal
-        // streams distilled into one delivered pair).
-        let requests = if streams == 1 || spec.purify == PurifyPolicy::EndToEnd {
-            vec![net.request_entanglement(0, dst, spec.fmin)]
+        // A round's requests: explicit cross-traffic pairs when
+        // given, else `streams` same-pair requests 0 → last. Under
+        // EndToEnd a round is one logical request per pair (two
+        // internal streams distilled into one delivered pair).
+        let requests: Vec<u64> = if spec.pairs.is_empty() {
+            if streams == 1 || spec.purify == PurifyPolicy::EndToEnd {
+                vec![net.request_entanglement(0, dst, spec.fmin)]
+            } else {
+                net.request_entanglement_multipath(0, dst, spec.fmin, streams as usize)
+            }
         } else {
-            net.request_entanglement_multipath(0, dst, spec.fmin, streams as usize)
+            spec.pairs
+                .iter()
+                .map(|&(src, dst)| net.request_entanglement(src, dst, spec.fmin))
+                .collect()
         };
         // Count attempts as issued, and only ever credit an outcome to
         // the round that issued its request: a stream aborting on
@@ -301,11 +420,15 @@ pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
             record.latency_s.push(out.latency.as_secs_f64());
             record.pairs_consumed += u64::from(out.pairs_consumed);
         }
-        // Cancel whatever did not make the budget (no-op when done).
+        // Whatever did not make the budget timed out — whether the
+        // network already abandoned it (retry budget exhausted) or it
+        // was still limping along. Cancel is a no-op for the done.
+        record.timeouts += pending.len() as u32;
         for request in requests {
             net.cancel_request(request);
         }
     }
+    record.reroutes = net.reroutes();
     record.events = net.events_fired();
     record
 }
@@ -363,6 +486,8 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 fidelity: RunningStats::new(),
                 latency_s: RunningStats::new(),
                 pairs_consumed: 0,
+                timeouts: 0,
+                reroutes: 0,
                 events: 0,
             };
             for run in runs.iter().filter(|r| r.scenario == si) {
@@ -372,6 +497,8 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 stats.fidelity.merge(&run.fidelity);
                 stats.latency_s.merge(&run.latency_s);
                 stats.pairs_consumed += run.pairs_consumed;
+                stats.timeouts += run.timeouts;
+                stats.reroutes += run.reroutes;
                 stats.events += run.events;
             }
             stats

@@ -111,6 +111,58 @@ impl Topology {
         topo
     }
 
+    /// A rows × cols grid, nodes indexed row-major (node `r * cols +
+    /// c` sits at row `r`, column `c`), every horizontally or
+    /// vertically adjacent pair linked. Edges are created in
+    /// row-major node order, right edge before down edge, and
+    /// `link(i)` configures the `i`-th edge so created.
+    ///
+    /// The canonical contended-mesh topology: between most node pairs
+    /// a grid offers many equal-length simple paths, which is exactly
+    /// the slack congestion-aware routing needs to spread concurrent
+    /// requests.
+    ///
+    /// # Panics
+    /// Panics unless both dimensions are at least 2 (a 1 × n grid is
+    /// a chain — use [`Topology::chain`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qlink_net::topology::Topology;
+    /// use qlink_sim::config::LinkConfig;
+    /// use qlink_sim::workload::WorkloadSpec;
+    ///
+    /// let grid = Topology::grid(3, 4, |i| LinkConfig::lab(WorkloadSpec::none(), i as u64));
+    /// assert_eq!(grid.node_count(), 12);
+    /// // 3 rows × 3 horizontal edges + 2 × 4 vertical edges.
+    /// assert_eq!(grid.edge_count(), 17);
+    /// // Corner to corner takes rows - 1 + cols - 1 hops.
+    /// assert_eq!(grid.shortest_path(0, 11).unwrap().len(), 6);
+    /// ```
+    pub fn grid(rows: usize, cols: usize, mut link: impl FnMut(usize) -> LinkConfig) -> Self {
+        assert!(rows >= 2 && cols >= 2, "a grid needs both dimensions ≥ 2");
+        let mut topo = Topology::new();
+        for _ in 0..rows * cols {
+            topo.add_node();
+        }
+        let mut edge = 0;
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    topo.connect(i, i + 1, link(edge));
+                    edge += 1;
+                }
+                if r + 1 < rows {
+                    topo.connect(i, i + cols, link(edge));
+                    edge += 1;
+                }
+            }
+        }
+        topo
+    }
+
     /// Adds a node; returns its index.
     pub fn add_node(&mut self) -> usize {
         let id = self.nodes.len();
@@ -311,6 +363,22 @@ mod tests {
         assert_eq!(t.edge_between(2, 1), Some(1));
         assert_eq!(t.edge_between(0, 3), None);
         assert_eq!(t.edges_at(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = Topology::grid(3, 3, |i| lab(i as u64));
+        assert_eq!(t.node_count(), 9);
+        assert_eq!(t.edge_count(), 12);
+        // Row-major adjacency: the centre touches its four neighbours.
+        for n in [1, 3, 5, 7] {
+            assert!(t.edge_between(4, n).is_some(), "centre to {n}");
+        }
+        assert_eq!(t.edge_between(0, 4), None, "no diagonals");
+        // Two edge-disjoint corner-to-corner routes exist.
+        let paths = t.k_shortest_paths(0, 8, 6);
+        assert!(paths.len() >= 2);
+        assert_eq!(paths[0].len(), 5, "corner to corner is 4 hops");
     }
 
     #[test]

@@ -87,9 +87,10 @@ pub mod prelude {
     pub use crate::net::network::{EndToEndOutcome, Network};
     pub use crate::net::purify::PurifyPolicy;
     pub use crate::net::route::{
-        EdgeProfile, FidelityProduct, HopCount, Latency, Route, RouteMetric, RoutePlanner,
+        EdgeProfile, FidelityProduct, HopCount, Latency, LoadScaledLatency, PlanContext, Route,
+        RouteMetric, RoutePlanner,
     };
-    pub use crate::net::sweep::{sweep, MetricChoice, ScenarioSpec, SweepReport};
+    pub use crate::net::sweep::{sweep, MetricChoice, ScenarioSpec, SweepReport, TopologyChoice};
     pub use crate::net::topology::Topology;
     pub use crate::phys::params::{Scenario, ScenarioParams};
     pub use crate::quantum::bell::{bell_fidelity, BellState, Qber};

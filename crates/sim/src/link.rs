@@ -87,6 +87,26 @@ pub struct Delivery {
     pub request_complete: bool,
 }
 
+/// One CREATE the link layer terminally rejected (UNSUPP, deadline
+/// too tight, queue denial, memory exhaustion…): no pair will ever be
+/// delivered for it. Surfaced to an embedding (network) layer via
+/// [`LinkSimulation::drain_rejections`] once recording is enabled
+/// with [`LinkSimulation::capture_rejections`] — the observation a
+/// re-routing network layer needs to try another path instead of
+/// waiting out a timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejection {
+    /// Node whose EGP rejected the CREATE (0 = A, 1 = B) — the same
+    /// side the CREATE was submitted on.
+    pub origin: usize,
+    /// The CREATE id returned by [`LinkSimulation::submit`].
+    pub create_id: u16,
+    /// The protocol error that killed the request.
+    pub code: EgpErrorCode,
+    /// Simulated rejection instant.
+    pub at: SimTime,
+}
+
 /// A fully wired two-node link simulation.
 pub struct LinkSimulation {
     cfg: LinkConfig,
@@ -106,6 +126,7 @@ pub struct LinkSimulation {
     workload: WorkloadGenerator,
     tracking: HashMap<(usize, u16), RequestTracking>,
     deliveries: Option<Vec<Delivery>>,
+    rejections: Option<Vec<Rejection>>,
     /// Metrics collected so far.
     pub metrics: LinkMetrics,
     next_cycle_scheduled: u64,
@@ -175,6 +196,7 @@ impl LinkSimulation {
             workload,
             tracking: HashMap::new(),
             deliveries: None,
+            rejections: None,
             metrics: LinkMetrics::new(),
             next_cycle_scheduled: 0,
             cfg,
@@ -273,6 +295,26 @@ impl LinkSimulation {
     /// called).
     pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
         self.deliveries
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Starts recording per-CREATE [`Rejection`] records for
+    /// [`LinkSimulation::drain_rejections`]. Off by default for the
+    /// same reason as [`LinkSimulation::capture_deliveries`]: nobody
+    /// reads the buffer on a standalone link.
+    pub fn capture_rejections(&mut self) {
+        if self.rejections.is_none() {
+            self.rejections = Some(Vec::new());
+        }
+    }
+
+    /// Takes every terminal rejection since the last drain, in event
+    /// order (empty unless [`LinkSimulation::capture_rejections`] was
+    /// called).
+    pub fn drain_rejections(&mut self) -> Vec<Rejection> {
+        self.rejections
             .as_mut()
             .map(std::mem::take)
             .unwrap_or_default()
@@ -520,6 +562,14 @@ impl LinkSimulation {
                                 | EgpErrorCode::OutOfMem
                         ) {
                             self.tracking.remove(&(i, err.create_id));
+                            if let Some(rejections) = &mut self.rejections {
+                                rejections.push(Rejection {
+                                    origin: i,
+                                    create_id: err.create_id,
+                                    code: err.code,
+                                    at: self.queue.now(),
+                                });
+                            }
                         }
                     }
                     EgpEvent::Hw(directive) => self.apply_hw(i, directive),

@@ -1,0 +1,441 @@
+//! Contention test suite for congestion-aware routing and timeout
+//! re-routing (the PR 4 tentpole), pinned deterministically per seed:
+//!
+//! * on a contended 4×4 grid, `LoadScaledLatency` times out strictly
+//!   fewer requests than static `Latency` at equal seeds;
+//! * a retry budget > 0 completes requests that time out at budget 0;
+//! * a stream whose links UNSUPP re-routes onto a serving path
+//!   instead of idling to its timeout;
+//! * `edge_load` balances to zero through every request lifecycle
+//!   (completion, timeout, rejection, re-route, cancellation);
+//! * PR 3's scenario stats reproduce bit-identically under the new
+//!   plumbing (re-route draws live on their own `net/reroute`
+//!   substream and no timeout events exist unless armed).
+
+use qlink::net::sweep::{run_one, RunRecord};
+use qlink::net::MetricChoice;
+use qlink::prelude::*;
+
+fn lab(seed: u64) -> LinkConfig {
+    LinkConfig::lab(WorkloadSpec::none(), seed)
+}
+
+/// Six concurrent cross-traffic pairs on the 4×4 grid (nodes
+/// row-major): two corner-to-corner diagonals plus four cross-mesh
+/// pairs. Under a static metric their deterministically tie-broken
+/// shortest paths pile onto the low-index row/column edges.
+fn contended_pairs() -> Vec<(usize, usize)> {
+    vec![(0, 15), (3, 12), (1, 11), (2, 8), (7, 13), (4, 14)]
+}
+
+fn grid_spec(metric: MetricChoice, budget: SimDuration) -> ScenarioSpec {
+    ScenarioSpec::lab_grid("contended-grid", 4, 4)
+        .with_pairs(contended_pairs())
+        .with_max_time(budget)
+        .with_metric(metric)
+}
+
+/// The acceptance criterion's first half: at equal seeds, pricing the
+/// live `edge_load` into the route metric strictly reduces timeouts
+/// on the contended mesh — pinned per seed, with the exact counts.
+#[test]
+fn load_scaled_metric_times_out_strictly_less_on_contended_grid() {
+    let budget = SimDuration::from_millis(500);
+    // (seed, timeouts under static Latency, under LoadScaledLatency).
+    for (seed, static_to, load_to) in [(1, 2, 0), (4, 1, 0), (6, 2, 0)] {
+        let plain = run_one(&grid_spec(MetricChoice::Latency, budget), seed);
+        let load = run_one(&grid_spec(MetricChoice::LoadLatency, budget), seed);
+        assert_eq!(plain.rounds, 6, "six concurrent requests per round");
+        assert_eq!(load.rounds, 6);
+        assert_eq!(
+            plain.timeouts, static_to,
+            "seed {seed}: static Latency timeout count moved"
+        );
+        assert_eq!(
+            load.timeouts, load_to,
+            "seed {seed}: LoadScaledLatency timeout count moved"
+        );
+        assert!(
+            load.timeouts < plain.timeouts,
+            "seed {seed}: load-aware routing must time out strictly less \
+             ({} vs {})",
+            load.timeouts,
+            plain.timeouts
+        );
+        // No re-routing was enabled: the gain is purely from planning.
+        assert_eq!(plain.reroutes, 0);
+        assert_eq!(load.reroutes, 0);
+        assert_eq!(plain.successes + plain.timeouts, plain.rounds);
+        assert_eq!(load.successes + load.timeouts, load.rounds);
+    }
+}
+
+/// The acceptance criterion's second half: with a per-request timeout
+/// armed, retry budget 0 abandons requests at their deadline, while
+/// budget 2 re-plans them against current load (excluding the failed
+/// path's edges) and completes requests that timed out at budget 0 —
+/// exact per-seed counts pinned.
+#[test]
+fn retry_budget_completes_requests_that_time_out_at_budget_zero() {
+    let run = |seed: u64, retries: u32| -> RunRecord {
+        let spec = grid_spec(MetricChoice::Latency, SimDuration::from_millis(900))
+            .with_request_timeout(SimDuration::from_millis(350))
+            .with_retries(retries);
+        run_one(&spec, seed)
+    };
+    // (seed, budget-0 (ok, to), budget-2 (ok, to, reroutes)).
+    for (seed, zero, two) in [(1, (4, 2), (6, 0, 2)), (4, (3, 3), (6, 0, 3))] {
+        let r0 = run(seed, 0);
+        let r2 = run(seed, 2);
+        assert_eq!((r0.successes, r0.timeouts), zero, "seed {seed} budget 0");
+        assert_eq!(
+            (r2.successes, r2.timeouts, r2.reroutes),
+            two,
+            "seed {seed} budget 2"
+        );
+        assert_eq!(r0.reroutes, 0, "budget 0 must never re-route");
+        assert!(
+            r2.successes > r0.successes,
+            "seed {seed}: the retry budget must complete at least one \
+             request that timed out at budget 0"
+        );
+        assert!(r2.timeouts < r0.timeouts);
+        assert!(r2.reroutes > 0);
+    }
+}
+
+/// Re-routed runs stay bit-reproducible: the jittered backoff draws
+/// from the seeded `net/reroute` substream, so the whole record —
+/// including which requests re-routed and what they delivered —
+/// reproduces exactly.
+#[test]
+fn rerouted_runs_reproduce_bit_identically() {
+    let spec = grid_spec(MetricChoice::LoadLatency, SimDuration::from_millis(700))
+        .with_request_timeout(SimDuration::from_millis(300))
+        .with_retries(2);
+    let a = run_one(&spec, 5);
+    let b = run_one(&spec, 5);
+    assert!(a.reroutes > 0, "the seed must actually exercise re-routing");
+    assert_eq!(a.successes, b.successes);
+    assert_eq!(a.timeouts, b.timeouts);
+    assert_eq!(a.reroutes, b.reroutes);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.fidelity.mean().to_bits(), b.fidelity.mean().to_bits());
+    assert_eq!(a.latency_s.mean().to_bits(), b.latency_s.mean().to_bits());
+}
+
+/// A Lab link degraded far below spec (borrowed from
+/// `net_routing.rs`): its FEU ceiling sits below Fmin 0.6, so CREATEs
+/// at that floor are rejected UNSUPP.
+fn noisy_lab(seed: u64) -> LinkConfig {
+    let mut cfg = lab(seed);
+    cfg.scenario.optics.visibility = 0.4;
+    cfg.scenario.optics.two_photon_prob = 0.2;
+    cfg.scenario.optics.phase_sigma_rad *= 3.0;
+    cfg.scenario.nv.ec_sqrt_x.fidelity = 0.9;
+    cfg
+}
+
+/// Diamond with a short noisy arm (0-1-4) and a long clean arm
+/// (0-2-3-4); only the clean arm can serve Fmin 0.6.
+fn short_noisy_long_clean_diamond() -> Topology {
+    let mut t = Topology::new();
+    for _ in 0..5 {
+        t.add_node();
+    }
+    t.connect(0, 1, noisy_lab(10));
+    t.connect(1, 4, noisy_lab(11));
+    t.connect(0, 2, lab(12));
+    t.connect(2, 3, lab(13));
+    t.connect(3, 4, lab(14));
+    t
+}
+
+/// A stream pinned onto a path whose links UNSUPP re-routes onto the
+/// serving arm as soon as the rejection is observed — ROADMAP's "a
+/// stream whose links UNSUPP simply times out" gap, closed.
+#[test]
+fn unsupp_stream_reroutes_onto_the_serving_arm() {
+    let mut net = Network::new(short_noisy_long_clean_diamond(), 7);
+    net.set_retry_budget(1);
+    assert_eq!(net.retry_budget(), 1);
+    // Pin the request onto the noisy arm, bypassing the planner's
+    // feasibility filter: both links reject the CREATEs as UNSUPP.
+    let request = net.request_on_path(&[0, 1, 4], 0.6);
+    let out = net
+        .run_until_outcome(SimDuration::from_secs(60))
+        .expect("the re-routed stream must deliver");
+    assert_eq!(out.request, request, "same id across the re-route");
+    assert_eq!(out.path, vec![0, 2, 3, 4], "re-planned onto the clean arm");
+    assert_eq!(net.reroutes(), 1);
+    assert_eq!(net.timeouts(), 0);
+    assert!(out.end_to_end_fidelity > 0.25);
+    for e in 0..net.topology().edge_count() {
+        assert_eq!(net.edge_load(e), 0, "edge {e}: load released");
+    }
+
+    // Without a retry budget (and no timeout armed) the same pinned
+    // stream behaves exactly as in PR 3: it idles, delivering nothing.
+    let mut inert = Network::new(short_noisy_long_clean_diamond(), 7);
+    inert.request_on_path(&[0, 1, 4], 0.6);
+    assert!(inert
+        .run_until_outcome(SimDuration::from_millis(50))
+        .is_none());
+    assert_eq!(inert.reroutes(), 0);
+}
+
+/// With the budget exhausted, an UNSUPP'd stream is abandoned and
+/// counted, and its reservations are fully released.
+#[test]
+fn exhausted_budget_abandons_and_releases() {
+    let mut net = Network::new(short_noisy_long_clean_diamond(), 3);
+    net.set_request_timeout(Some(SimDuration::from_millis(80)));
+    assert_eq!(net.request_timeout(), Some(SimDuration::from_millis(80)));
+    // Fmin above every arm's ceiling: each re-plan lands on another
+    // UNSUPP'ing path until the budget runs out.
+    let request = net.request_entanglement(0, 4, 0.95);
+    net.run_for(SimDuration::from_secs(2));
+    assert_eq!(net.timeouts(), 1, "the stream must be abandoned");
+    for e in 0..net.topology().edge_count() {
+        assert_eq!(net.edge_load(e), 0, "edge {e}: load released on abandon");
+    }
+    for n in 0..net.topology().node_count() {
+        assert!(!net.node(n).is_reserved(request), "node {n} still reserved");
+    }
+    // Cancelling an abandoned request is a harmless no-op.
+    net.cancel_request(request);
+    assert!((0..net.topology().edge_count()).all(|e| net.edge_load(e) == 0));
+}
+
+/// Seeded property test for the load ledger: at every observation
+/// point `edge_load` agrees with both endpoint nodes' reservation
+/// counts, and after every lifecycle — completion, timeout,
+/// rejection, re-route, cancellation — every edge returns to exactly
+/// zero. Trials mix purification policies, retry budgets, timeouts,
+/// and an unachievable-fmin request (a rejection/re-route/abandon
+/// exerciser).
+#[test]
+fn edge_load_balances_through_every_lifecycle() {
+    let mut rng = DetRng::new(0xC0FFEE).substream("net-congestion/load");
+    let policies = [
+        PurifyPolicy::Off,
+        PurifyPolicy::LinkLevel,
+        PurifyPolicy::EndToEnd,
+        PurifyPolicy::Off,
+        PurifyPolicy::Off,
+    ];
+    for (trial, &policy) in policies.iter().enumerate() {
+        let link_seed = rng.below(1 << 20);
+        let net_seed = rng.below(1 << 20);
+        let retries = rng.below(3) as u32;
+        let timeout_ms = 60 + rng.below(240);
+        let mut topo = Topology::grid(3, 3, |i| {
+            let mut cfg = lab(link_seed + i as u64);
+            // Long memory so LinkLevel/EndToEnd trials can progress.
+            cfg.scenario.nv.carbon_t2 = 10.0;
+            cfg
+        });
+        // A noisy shortcut across one corner: a candidate edge whose
+        // UNSUPP rejections the re-route machinery must clean up.
+        topo.connect(0, 4, noisy_lab(link_seed + 100));
+        let noisy_edge = topo.edge_count() - 1;
+        let mut net = Network::new(topo, net_seed);
+        net.set_route_metric(LoadScaledLatency);
+        net.set_purify_policy(policy);
+        net.set_retry_budget(retries);
+        net.set_request_timeout(Some(SimDuration::from_millis(timeout_ms)));
+
+        let mut requests = vec![
+            net.request_entanglement(0, 8, 0.6),
+            net.request_entanglement(2, 6, 0.6),
+            net.request_entanglement(3, 5, 0.6),
+        ];
+        // Unachievable floor: rejected wherever it lands, re-routed
+        // while budget lasts, then abandoned.
+        requests.push(net.request_entanglement(0, 8, 0.95));
+        // Forced onto the noisy shortcut: UNSUPP at a feasible floor.
+        requests.push(net.request_on_path(&[0, 4, 5, 8], 0.6));
+
+        let check = |net: &Network, when: &str| {
+            for e in 0..net.topology().edge_count() {
+                let edge = net.topology().edge(e);
+                let load = net.edge_load(e) as usize;
+                assert_eq!(
+                    load,
+                    net.node(edge.a).reserved_on_edge(e),
+                    "trial {trial} {when}: edge {e} vs node {}",
+                    edge.a
+                );
+                assert_eq!(
+                    load,
+                    net.node(edge.b).reserved_on_edge(e),
+                    "trial {trial} {when}: edge {e} vs node {}",
+                    edge.b
+                );
+            }
+        };
+
+        check(&net, "after issue");
+        let deadline = net.now() + SimDuration::from_millis(600);
+        loop {
+            let left = deadline.saturating_since(net.now());
+            if left == SimDuration::ZERO {
+                break;
+            }
+            let outcome = net.run_until_outcome(left);
+            check(&net, "mid-run");
+            if outcome.is_none() {
+                break;
+            }
+        }
+        for r in requests.drain(..) {
+            net.cancel_request(r);
+        }
+        check(&net, "after cancel");
+        for e in 0..net.topology().edge_count() {
+            assert_eq!(
+                net.edge_load(e),
+                0,
+                "trial {trial}: edge {e} leaked load (noisy edge is {noisy_edge})"
+            );
+        }
+    }
+}
+
+/// PR 3 regression anchors, captured before this PR's plumbing
+/// landed: with retries = 0 and no request timeout (the defaults) the
+/// new machinery schedules no events and draws no randomness, so
+/// these scenario stats must reproduce **bit-identically** — the
+/// contended multi-stream chain of `net_routing.rs` and the
+/// purification sweep cells of `net_purify.rs`.
+#[test]
+fn pr3_scenario_stats_reproduce_bit_identically() {
+    struct Pin {
+        successes: u32,
+        rounds: u32,
+        events: u64,
+        fid_bits: u64,
+        lat_bits: u64,
+        pairs: u64,
+    }
+    let check = |r: &RunRecord, pin: &Pin, what: &str| {
+        assert_eq!(r.successes, pin.successes, "{what}: successes");
+        assert_eq!(r.rounds, pin.rounds, "{what}: rounds");
+        assert_eq!(r.events, pin.events, "{what}: event count");
+        assert_eq!(
+            r.fidelity.mean().to_bits(),
+            pin.fid_bits,
+            "{what}: fidelity"
+        );
+        assert_eq!(
+            r.latency_s.mean().to_bits(),
+            pin.lat_bits,
+            "{what}: latency"
+        );
+        assert_eq!(r.pairs_consumed, pin.pairs, "{what}: pairs");
+        assert_eq!(r.timeouts, 0, "{what}: timeouts");
+        assert_eq!(r.reroutes, 0, "{what}: reroutes");
+    };
+
+    // net_routing.rs: contended 3-node chain, Fidelity metric, two
+    // streams, seed 3. `with_retries(0)` is the explicit spelling of
+    // the default and must change nothing.
+    let spec = ScenarioSpec::lab_chain("contended", 3)
+        .with_max_time(SimDuration::from_secs(120))
+        .with_metric(MetricChoice::Fidelity)
+        .with_streams(2)
+        .with_retries(0);
+    check(
+        &run_one(&spec, 3),
+        &Pin {
+            successes: 2,
+            rounds: 2,
+            events: 399425,
+            fid_bits: 0x3fd52195dac57856,
+            lat_bits: 0x3fc1f54e350f4050,
+            pairs: 4,
+        },
+        "routing/contended",
+    );
+
+    // net_purify.rs: the Off vs LinkLevel sweep cells, seeds 1 and 2.
+    let pins = [
+        (
+            PurifyPolicy::Off,
+            1,
+            1208705,
+            0x3fd4c4c25b62f322,
+            0x3fd0c1bc3219e844,
+            8,
+        ),
+        (
+            PurifyPolicy::Off,
+            2,
+            1090681,
+            0x3fd4dd4546f6ff70,
+            0x3fc55650e3bc46e4,
+            8,
+        ),
+        (
+            PurifyPolicy::LinkLevel,
+            1,
+            2287333,
+            0x3fd61d31f71fd713,
+            0x3fda87559e900d6a,
+            20,
+        ),
+        (
+            PurifyPolicy::LinkLevel,
+            2,
+            2851727,
+            0x3fd5de38a4298a86,
+            0x3fe0bc58ab38ddcd,
+            18,
+        ),
+    ];
+    for (policy, seed, events, fid_bits, lat_bits, pairs) in pins {
+        let spec = ScenarioSpec::lab_chain(policy.name(), 5)
+            .with_rounds(2)
+            .with_max_time(SimDuration::from_secs(60))
+            .with_carbon_t2(10.0)
+            .with_purify(policy);
+        check(
+            &run_one(&spec, seed),
+            &Pin {
+                successes: 2,
+                rounds: 2,
+                events,
+                fid_bits,
+                lat_bits,
+                pairs,
+            },
+            &format!("purify/{} seed {seed}", policy.name()),
+        );
+    }
+}
+
+/// The sweep driver carries the congestion knobs and surfaces the new
+/// counters deterministically through the merged report.
+#[test]
+fn sweep_merges_timeout_and_reroute_counters() {
+    let specs = vec![
+        grid_spec(MetricChoice::Latency, SimDuration::from_millis(500)),
+        grid_spec(MetricChoice::LoadLatency, SimDuration::from_millis(500)),
+    ];
+    let seeds = [1, 4];
+    let report = sweep(&specs, &seeds, 2);
+    let plain = &report.scenarios[0];
+    let load = &report.scenarios[1];
+    assert_eq!(plain.rounds, 12, "2 seeds x 6 pairs");
+    assert_eq!(plain.timeouts, 3, "seeds 1+4 under static Latency");
+    assert_eq!(load.timeouts, 0, "load-aware spreads all requests");
+    assert_eq!(plain.successes + plain.timeouts, plain.rounds);
+    // Thread count never changes the merged numbers.
+    let again = sweep(&specs, &seeds, 1);
+    for (a, b) in report.runs.iter().zip(&again.runs) {
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(a.reroutes, b.reroutes);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.fidelity.mean().to_bits(), b.fidelity.mean().to_bits());
+    }
+}
