@@ -18,10 +18,20 @@
 //!   latency routing (with and without timeout re-routing).
 //! * `sweep/*` — sweep-driver throughput (ROADMAP item): runs/second
 //!   of a fixed scenario × seed matrix vs worker-thread count.
+//! * `par/*` — the conservative-lookahead intra-topology engine
+//!   (`qlink::net::par`): wall-clock of one giant-grid run under
+//!   `ExecMode::Sequential` vs `Sharded(n)` — bit-identical results,
+//!   so the whole difference is engine overhead vs parallel speedup.
+//!   Also writes the measurements to `BENCH_par.json` (override the
+//!   path with `QLINK_BENCH_PAR_JSON`) as the perf-trajectory record;
+//!   speedup depends on the host's core count, which is recorded
+//!   alongside. Run just this family with `cargo bench --bench
+//!   net_scaling -- par/`, and shrink the simulated horizon for smoke
+//!   runs with `QLINK_BENCH_SCALE` (e.g. `=0.1`).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qlink::net::route::{FidelityProduct, HopCount, Latency, RoutePlanner};
-use qlink::net::sweep::{run_one, sweep};
+use qlink::net::sweep::{run_one, sweep, ExecChoice};
 use qlink::net::MetricChoice;
 use qlink::prelude::*;
 
@@ -35,6 +45,9 @@ fn grid(n: usize) -> Topology {
 }
 
 fn bench_chain_scaling(c: &mut Criterion) {
+    if !c.matches("chain/") {
+        return;
+    }
     // Print the hops → latency/fidelity curve once so the bench log
     // doubles as the scaling table.
     for nodes in [2, 3, 4] {
@@ -64,6 +77,9 @@ fn bench_chain_scaling(c: &mut Criterion) {
 }
 
 fn bench_purify_policies(c: &mut Criterion) {
+    if !c.matches("purify/") {
+        return;
+    }
     for policy in [PurifyPolicy::Off, PurifyPolicy::LinkLevel] {
         let spec = ScenarioSpec::lab_chain(policy.name(), 3)
             .with_max_time(SimDuration::from_secs(60))
@@ -91,6 +107,9 @@ fn bench_purify_policies(c: &mut Criterion) {
 }
 
 fn bench_congested_mesh(c: &mut Criterion) {
+    if !c.matches("congestion/") {
+        return;
+    }
     let pairs = vec![(0, 15), (3, 12), (1, 11), (2, 8), (7, 13), (4, 14)];
     let cells = [
         ("latency", MetricChoice::Latency, 0u32),
@@ -123,6 +142,9 @@ fn bench_congested_mesh(c: &mut Criterion) {
 }
 
 fn bench_sweep_throughput(c: &mut Criterion) {
+    if !c.matches("sweep/") {
+        return;
+    }
     // A fixed 2-scenario × 4-seed matrix of short chain runs; the
     // bench sweeps the worker-thread count (ROADMAP: runs/second vs
     // threads). Results are identical whatever the count — only the
@@ -150,7 +172,76 @@ fn bench_sweep_throughput(c: &mut Criterion) {
     }
 }
 
+fn bench_par_engine(c: &mut Criterion) {
+    if !c.matches("par/") {
+        return;
+    }
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sim = qlink_bench::scaled_secs(2.0);
+    let modes = [
+        ("seq", ExecChoice::Sequential, 1usize),
+        ("t2", ExecChoice::Sharded(2), 2),
+        ("t4", ExecChoice::Sharded(4), 4),
+    ];
+    let mut json_entries = Vec::new();
+    for n in [8usize, 16] {
+        // One corner-to-corner request plus cross traffic, re-routing
+        // armed: the workload class the intra-topology engine exists
+        // for. Results are bit-identical across modes (pinned by
+        // tests/net_par.rs), so wall-clock is the whole story.
+        let last = n * n - 1;
+        let spec = ScenarioSpec::lab_grid(format!("par-grid-{n}"), n, n)
+            .with_pairs(vec![
+                (0, last),
+                (n - 1, last + 1 - n),
+                (n / 2, last - n / 2),
+            ])
+            .with_metric(MetricChoice::LoadLatency)
+            .with_max_time(sim);
+        let mut seq_secs = None;
+        for (tag, exec, threads) in modes {
+            let name = format!("par/grid_{n}x{n}_{tag}");
+            let spec = spec.clone().with_exec(exec);
+            let watch = qlink_bench::Stopwatch::new();
+            let r = run_one(&spec, 1);
+            let secs = watch.secs();
+            let seq = *seq_secs.get_or_insert(secs);
+            let speedup = seq / secs;
+            println!(
+                "{name:<24} {secs:>8.3} s  speedup vs seq {speedup:>5.2}x  \
+                 ({} events, {} ok, host has {host} core(s))",
+                r.events, r.successes,
+            );
+            json_entries.push(format!(
+                "    {{\"name\": \"{name}\", \"threads\": {threads}, \
+                 \"wall_seconds\": {secs:.4}, \"speedup_vs_seq\": {speedup:.3}, \
+                 \"events\": {}}}",
+                r.events
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"net_scaling/par\",\n  \"host_parallelism\": {host},\n  \
+         \"sim_seconds\": {:.3},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        sim.as_secs_f64(),
+        json_entries.join(",\n"),
+    );
+    // Default into the workspace root: the committed perf-trajectory
+    // record, refreshed by any plain `cargo bench -- par/`.
+    let path = std::env::var("QLINK_BENCH_PAR_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_par.json").into());
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn bench_routing_overhead(c: &mut Criterion) {
+    if !c.matches("route/") {
+        return;
+    }
     let topo = grid(6);
     let (src, dst) = (0, topo.node_count() - 1);
 
@@ -183,6 +274,6 @@ fn bench_routing_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_chain_scaling, bench_routing_overhead, bench_purify_policies, bench_congested_mesh, bench_sweep_throughput
+    targets = bench_chain_scaling, bench_routing_overhead, bench_purify_policies, bench_congested_mesh, bench_sweep_throughput, bench_par_engine
 }
 criterion_main!(benches);

@@ -33,7 +33,7 @@ use qlink_quantum::bell::BellState;
 use qlink_quantum::Basis;
 use qlink_wire::egp::{
     CreateMsg, EgpErrorCode, ErrMsg, ExpireAckMsg, ExpireMsg, MemoryAdvertMsg, OkKeepMsg,
-    OkMeasureMsg, WireBasis,
+    OkMeasureMsg, RetractMsg, WireBasis,
 };
 use qlink_wire::fields::{
     seq_after, AbsQueueId, MhpError, MidpointOutcome, ReplyOutcome, RequestType,
@@ -183,6 +183,13 @@ struct PendingExpire {
     retries_left: u8,
 }
 
+#[derive(Debug)]
+struct PendingRetract {
+    msg: RetractMsg,
+    next_retransmit: u64,
+    retries_left: u8,
+}
+
 /// The per-node link-layer protocol instance.
 #[derive(Debug)]
 pub struct Egp {
@@ -208,6 +215,11 @@ pub struct Egp {
     buffered_oks: HashMap<AbsQueueId, Vec<EgpEvent>>,
     /// EXPIREs awaiting acknowledgment.
     pending_expires: Vec<PendingExpire>,
+    /// RETRACTs awaiting acknowledgment.
+    pending_retracts: Vec<PendingRetract>,
+    /// CREATEs retracted while their dqueue ADD was still in flight:
+    /// if the queue later commits one, it is retracted then.
+    retracted_creates: std::collections::HashSet<u16>,
     /// Peer's last advertised free storage (None = unknown).
     peer_free_storage: Option<u8>,
     /// Consecutive NO_MESSAGE_OTHER counts per request (divergence
@@ -270,6 +282,8 @@ impl Egp {
             pending_move: None,
             buffered_oks: HashMap::new(),
             pending_expires: Vec::new(),
+            pending_retracts: Vec::new(),
+            retracted_creates: std::collections::HashSet::new(),
             peer_free_storage: None,
             nmo_counts: HashMap::new(),
             qm_counts: HashMap::new(),
@@ -406,6 +420,65 @@ impl Egp {
         (create_id, events)
     }
 
+    /// Retracts a CREATE this node originated: the request is dropped
+    /// from the local queue immediately and the peer is told to do the
+    /// same (RETRACT frame, retransmitted until acknowledged), so
+    /// neither node spends further attempt cycles on it. The
+    /// abandonment signal a higher layer sends when it no longer wants
+    /// the pairs — a network-layer attempt failed or was cancelled.
+    ///
+    /// No-op for an unknown, already completed, or already rejected
+    /// create ID. No OK/ERR is emitted: the higher layer asked for the
+    /// removal and needs no echo.
+    pub fn expire_request(&mut self, create_id: u16, cycle: u64) -> Vec<EgpEvent> {
+        // ADD still in flight: drop the template now; if the dqueue
+        // later commits the entry anyway, the tombstone retracts it at
+        // commit time (see `process_dq_events`).
+        if self.pending_creates.remove(&create_id).is_some() {
+            self.retracted_creates.insert(create_id);
+            return Vec::new();
+        }
+        let aid = self.requests.iter().find_map(|(aid, r)| {
+            (r.id.origin == self.cfg.node_id
+                && r.id.create_id == create_id
+                && r.completed_cycle.is_none())
+            .then_some(*aid)
+        });
+        let Some(aid) = aid else {
+            return Vec::new();
+        };
+        self.drop_request(aid);
+        vec![self.send_retract(aid, create_id, cycle)]
+    }
+
+    /// Removes every local trace of a queued request (the same set the
+    /// timeout purge clears). In-flight MHP results for it resolve
+    /// through the unknown-request path, which frees hardware and
+    /// resyncs sequence numbers.
+    fn drop_request(&mut self, aid: AbsQueueId) {
+        self.requests.remove(&aid);
+        self.dq.remove(aid);
+        self.buffered_oks.remove(&aid);
+        self.issued_seqs.remove(&aid);
+        self.nmo_counts.remove(&aid);
+    }
+
+    /// Builds, registers for retransmission, and returns the RETRACT
+    /// for `aid`.
+    fn send_retract(&mut self, aid: AbsQueueId, create_id: u16, cycle: u64) -> EgpEvent {
+        let msg = RetractMsg {
+            queue_id: aid,
+            origin_id: self.cfg.node_id,
+            create_id,
+        };
+        self.pending_retracts.push(PendingRetract {
+            msg,
+            next_retransmit: cycle + self.cfg.reply_timeout_cycles,
+            retries_left: 10,
+        });
+        EgpEvent::SendPeer(Frame::Retract(msg))
+    }
+
     /// Handles a frame arriving from the peer node.
     pub fn on_peer_frame(&mut self, frame: Frame, cycle: u64) -> Vec<EgpEvent> {
         match frame {
@@ -414,8 +487,20 @@ impl Egp {
                 self.process_dq_events(evs, cycle)
             }
             Frame::Expire(msg) => self.on_expire(msg, cycle),
+            Frame::Retract(msg) => {
+                // The originator abandoned the request: forget it and
+                // acknowledge (the ack doubles as a sequence resync,
+                // like an EXPIRE ack).
+                self.drop_request(msg.queue_id);
+                vec![EgpEvent::SendPeer(Frame::ExpireAck(ExpireAckMsg {
+                    queue_id: msg.queue_id,
+                    seq_expected: self.seq_expected,
+                }))]
+            }
             Frame::ExpireAck(msg) => {
                 self.pending_expires
+                    .retain(|p| p.msg.queue_id != msg.queue_id);
+                self.pending_retracts
                     .retain(|p| p.msg.queue_id != msg.queue_id);
                 // The acknowledger reports its up-to-date expectation;
                 // adopt it if ahead (stops stale-sequence discards).
@@ -1034,6 +1119,14 @@ impl Egp {
             }
         }
         self.pending_expires.retain(|p| p.retries_left > 0);
+        for p in &mut self.pending_retracts {
+            if p.next_retransmit <= cycle && p.retries_left > 0 {
+                p.retries_left -= 1;
+                p.next_retransmit = cycle + self.cfg.reply_timeout_cycles;
+                events.push(EgpEvent::SendPeer(Frame::Retract(p.msg)));
+            }
+        }
+        self.pending_retracts.retain(|p| p.retries_left > 0);
     }
 
     fn on_expire(&mut self, msg: ExpireMsg, _cycle: u64) -> Vec<EgpEvent> {
@@ -1114,13 +1207,23 @@ impl Egp {
         }
     }
 
-    fn process_dq_events(&mut self, dq_events: Vec<DqpEvent>, _cycle: u64) -> Vec<EgpEvent> {
+    fn process_dq_events(&mut self, dq_events: Vec<DqpEvent>, cycle: u64) -> Vec<EgpEvent> {
         let mut events = Vec::new();
         for ev in dq_events {
             match ev {
                 DqpEvent::Send(msg) => events.push(EgpEvent::SendPeer(Frame::Dqp(msg))),
                 DqpEvent::Committed(entry) => {
                     let aid = entry.aid;
+                    // A request retracted while its ADD was in flight:
+                    // retract the freshly committed entry instead of
+                    // tracking it.
+                    if entry.origin.origin == self.cfg.node_id
+                        && self.retracted_creates.remove(&entry.origin.create_id)
+                    {
+                        self.dq.remove(aid);
+                        events.push(self.send_retract(aid, entry.origin.create_id, cycle));
+                        continue;
+                    }
                     // Our own template if we originated it, otherwise
                     // build the request from the synchronized entry.
                     let req = if entry.origin.origin == self.cfg.node_id {
@@ -1142,6 +1245,11 @@ impl Egp {
                     }
                 }
                 DqpEvent::AddSucceeded { create_id, aid } => {
+                    if self.retracted_creates.remove(&create_id) {
+                        self.drop_request(aid);
+                        events.push(self.send_retract(aid, create_id, cycle));
+                        continue;
+                    }
                     if let Some(mut t) = self.pending_creates.remove(&create_id) {
                         t.queue_id = Some(aid);
                         t.state = RequestState::Queued;
@@ -1150,6 +1258,9 @@ impl Egp {
                 }
                 DqpEvent::AddRejected { create_id, reason } => {
                     self.pending_creates.remove(&create_id);
+                    if self.retracted_creates.remove(&create_id) {
+                        continue; // retracted before the queue denied it
+                    }
                     let code = match reason {
                         RejectReason::QueueFull => EgpErrorCode::OutOfMem,
                         RejectReason::PurposeDenied => EgpErrorCode::Denied,
@@ -1158,6 +1269,9 @@ impl Egp {
                 }
                 DqpEvent::AddTimedOut { create_id } => {
                     self.pending_creates.remove(&create_id);
+                    if self.retracted_creates.remove(&create_id) {
+                        continue;
+                    }
                     events.push(EgpEvent::Error(self.err(create_id, EgpErrorCode::NoTime)));
                 }
                 DqpEvent::RolledBack { aid } => {

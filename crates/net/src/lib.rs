@@ -39,6 +39,12 @@
 //!   distilled before swapping) or end-to-end (two concurrent streams
 //!   merged by the path ends), with the parity bits crossing the real
 //!   classical control channels;
+//! * [`par`] — conservative-lookahead parallel execution *within* one
+//!   topology: link shards run ahead to window horizons bounded by the
+//!   minimum classical control delay (Chandy–Misra/YAWNS-style
+//!   barriers), bit-identical to the sequential engine
+//!   ([`ExecMode::Sharded`] on [`Network::set_exec`], or the
+//!   `QLINK_EXEC` environment variable);
 //! * [`chain`] — the repeater-chain convenience wrapper (successor of
 //!   the deprecated `qlink_sim::chain::RepeaterChain`);
 //! * [`sweep`](mod@sweep) — the parallel scenario-sweep driver: a scenario × seed
@@ -48,21 +54,23 @@
 pub mod chain;
 pub mod network;
 pub mod node;
+pub mod par;
 pub mod purify;
 pub mod route;
 pub mod sweep;
 pub mod topology;
 
 pub use chain::RepeaterChain;
-pub use network::{EndToEndOutcome, Network, TraceEntry, TraceKind};
+pub use network::{BackoffPolicy, EndToEndOutcome, Network, TraceEntry, TraceKind};
 pub use node::{NodeAction, PathRole, SwapAsapNode};
+pub use par::ExecMode;
 pub use purify::PurifyPolicy;
 pub use route::{
     EdgeProfile, FidelityProduct, HopCount, Latency, LoadScaledLatency, PlanContext, Route,
     RouteMetric, RoutePlanner,
 };
 pub use sweep::{
-    run_one, sweep, LinkScenario, MetricChoice, RunRecord, ScenarioSpec, ScenarioStats,
+    run_one, sweep, ExecChoice, LinkScenario, MetricChoice, RunRecord, ScenarioSpec, ScenarioStats,
     SweepReport, TopologyChoice,
 };
 pub use topology::{Edge, Node, Topology};

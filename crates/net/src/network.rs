@@ -45,6 +45,7 @@
 //! randomness is drawn: earlier PRs' runs reproduce bit-for-bit.
 
 use crate::node::{NodeAction, PathRole, SwapAsapNode};
+use crate::par::{ExecMode, ShardPool};
 use crate::purify::PurifyPolicy;
 use crate::route::{HopCount, PlanContext, Route, RouteMetric, RoutePlanner};
 use crate::topology::Topology;
@@ -56,7 +57,8 @@ use qlink_quantum::{channels, gates, QuantumState};
 use qlink_sim::config::RequestKind;
 use qlink_sim::link::{Delivery, LinkSimulation, Rejection};
 use qlink_sim::workload::GeneratedRequest;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A network-layer classical control message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +101,14 @@ enum NetEvent {
     /// A failed stream's backoff elapsed: re-plan against current
     /// load and re-issue it under its original id.
     Reissue { request: u64 },
+    /// A failed attempt's retraction notice reached the endpoint that
+    /// submitted CREATE `create_id` on `edge`: tell the link layer to
+    /// drop it ([`qlink_sim::link::LinkSimulation::expire_request`]).
+    Expire {
+        edge: usize,
+        side: usize,
+        create_id: u16,
+    },
 }
 
 /// What kind of activity a trace entry records.
@@ -323,9 +333,51 @@ struct PairGroup {
     retries: u32,
 }
 
+/// How a failed attempt's re-issue delay grows with its retry count
+/// (see [`Network::set_backoff_policy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackoffPolicy {
+    /// One jittered path control delay per re-issue, whatever the
+    /// attempt number — PR 4's behaviour and the default (runs that
+    /// never change the policy reproduce earlier PRs bit-for-bit).
+    #[default]
+    Jittered,
+    /// Exponential backoff: the jittered control delay doubles with
+    /// every failed attempt (`base × 2^attempt × (1 + u)`), clamped to
+    /// `cap`. Under sustained overload this spreads a retry storm out
+    /// instead of hammering the network at a fixed cadence.
+    Exponential {
+        /// Upper bound on any single re-issue delay.
+        cap: SimDuration,
+    },
+}
+
+impl BackoffPolicy {
+    /// The re-issue delay for a failure of attempt number `attempt`,
+    /// given the failed path's one-way control delay `base` (seconds)
+    /// and the jitter draw `u ∈ [0, 1)`.
+    pub fn delay(self, base: f64, attempt: u64, u: f64) -> SimDuration {
+        let jittered = base * (1.0 + u);
+        match self {
+            BackoffPolicy::Jittered => SimDuration::from_secs_f64(jittered),
+            BackoffPolicy::Exponential { cap } => {
+                // 2^attempt saturates far below f64 overflow; 10⁹ s of
+                // backoff is already "never" on simulation scales.
+                let factor = 2f64.powi(attempt.min(63) as i32);
+                SimDuration::from_secs_f64(jittered * factor).min(cap)
+            }
+        }
+    }
+}
+
 /// A multi-node quantum network on one shared event queue.
 pub struct Network {
     topo: Topology,
+    /// Lazily spawned link-shard worker pool (sharded mode only).
+    /// Declared before `links`: fields drop in declaration order, so
+    /// even during a panic unwind the pool joins its workers before
+    /// the link storage they borrow is freed.
+    pool: Option<ShardPool>,
     links: Vec<LinkSimulation>,
     nodes: Vec<SwapAsapNode>,
     queue: EventQueue<NetEvent>,
@@ -340,6 +392,7 @@ pub struct Network {
     next_request: u64,
     retry_budget: u32,
     request_timeout: Option<SimDuration>,
+    backoff: BackoffPolicy,
     reroutes: u64,
     timed_out: u64,
     outcomes: Vec<EndToEndOutcome>,
@@ -351,6 +404,23 @@ pub struct Network {
     edge_pairs_delivered: Vec<u64>,
     edge_purify_attempts: Vec<u64>,
     edge_purify_successes: Vec<u64>,
+    /// Execution engine for `run_for`/`run_until_outcome` (see
+    /// [`crate::par`]).
+    exec: ExecMode,
+    /// Firing times of every pending control / re-issue event — the
+    /// events that may submit CREATEs to links at their own firing
+    /// instant. Their minimum bounds the parallel engine's window
+    /// horizon; kept in sync by [`Network::schedule_cr`] and
+    /// [`Network::handle`].
+    cr_pending: BinaryHeap<Reverse<SimTime>>,
+    /// In-flight requests whose path is a single edge. Such requests
+    /// complete at a link *delivery* (no swap-result round trip), so
+    /// while any exist the parallel engine caps its lookahead at the
+    /// next event instead of the control-delay bound — a completion
+    /// must never find other links run ahead past it.
+    short_requests: u32,
+    /// Cached [`Topology::min_control_delay`].
+    min_control_delay: SimDuration,
     /// Total simulated time this network has been run for.
     pub elapsed: SimDuration,
 }
@@ -401,6 +471,7 @@ impl Network {
             next_request: 0,
             retry_budget: 0,
             request_timeout: None,
+            backoff: BackoffPolicy::default(),
             reroutes: 0,
             timed_out: 0,
             outcomes: Vec::new(),
@@ -408,6 +479,11 @@ impl Network {
             metric: Box::new(HopCount),
             purify: PurifyPolicy::Off,
             planner: None,
+            exec: ExecMode::from_env(),
+            pool: None,
+            cr_pending: BinaryHeap::new(),
+            short_requests: 0,
+            min_control_delay: topo.min_control_delay(),
             elapsed: SimDuration::ZERO,
             topo,
         };
@@ -518,6 +594,40 @@ impl Network {
     /// The retry budget granted to new requests.
     pub fn retry_budget(&self) -> u32 {
         self.retry_budget
+    }
+
+    /// Selects how a failed attempt's re-issue delay grows with its
+    /// retry count. The default, [`BackoffPolicy::Jittered`], is PR
+    /// 4's single jittered control delay — runs that keep it (and its
+    /// single `net/reroute` jitter draw per failure) reproduce earlier
+    /// PRs bit-for-bit. [`BackoffPolicy::Exponential`] doubles the
+    /// delay per attempt up to a cap, desynchronising sustained retry
+    /// storms. Applies to failures detected after the call.
+    pub fn set_backoff_policy(&mut self, policy: BackoffPolicy) {
+        self.backoff = policy;
+    }
+
+    /// The re-route backoff policy in force.
+    pub fn backoff_policy(&self) -> BackoffPolicy {
+        self.backoff
+    }
+
+    /// Selects the execution engine: [`ExecMode::Sequential`] pops the
+    /// shared queue event by event on the calling thread;
+    /// [`ExecMode::Sharded`]`(n)` advances the topology's links on `n`
+    /// threads inside conservative-lookahead windows (see
+    /// [`crate::par`]). The two produce **bit-identical** results —
+    /// the mode only changes wall-clock time — so it may be switched
+    /// freely between runs. Defaults to the `QLINK_EXEC` environment
+    /// variable ([`ExecMode::from_env`]), i.e. sequential unless the
+    /// process opts in.
+    pub fn set_exec(&mut self, exec: ExecMode) {
+        self.exec = exec;
+    }
+
+    /// The execution engine in force.
+    pub fn exec(&self) -> ExecMode {
+        self.exec
     }
 
     /// Attempts re-planned and re-issued after a failure, in total.
@@ -796,6 +906,9 @@ impl Network {
         assert!(path.len() >= 2, "a path needs two ends");
         let path = path.to_vec();
         let edges = self.topo.path_edges(&path);
+        if edges.len() == 1 {
+            self.short_requests += 1;
+        }
         for &e in &edges {
             self.edge_load[e] += 1;
         }
@@ -923,11 +1036,17 @@ impl Network {
             .collect()
     }
 
-    /// Runs the network for `duration` of global simulated time.
+    /// Runs the network for `duration` of global simulated time, on
+    /// the engine selected by [`Network::set_exec`].
     pub fn run_for(&mut self, duration: SimDuration) {
         let horizon = self.queue.now() + duration;
-        while let Some((t, ev)) = self.queue.pop_until(horizon) {
-            self.handle(t, ev);
+        match self.exec {
+            ExecMode::Sequential => {
+                while let Some((t, ev)) = self.queue.pop_until(horizon) {
+                    self.handle(t, ev);
+                }
+            }
+            ExecMode::Sharded(_) => self.run_windows(horizon, false),
         }
         self.account_elapsed(duration, horizon);
     }
@@ -938,10 +1057,19 @@ impl Network {
     pub fn run_until_outcome(&mut self, max_time: SimDuration) -> Option<EndToEndOutcome> {
         let start = self.queue.now();
         let deadline = start + max_time;
-        while self.outcomes.is_empty() {
-            match self.queue.pop_until(deadline) {
-                Some((t, ev)) => self.handle(t, ev),
-                None => break,
+        match self.exec {
+            ExecMode::Sequential => {
+                while self.outcomes.is_empty() {
+                    match self.queue.pop_until(deadline) {
+                        Some((t, ev)) => self.handle(t, ev),
+                        None => break,
+                    }
+                }
+            }
+            ExecMode::Sharded(_) => {
+                if self.outcomes.is_empty() {
+                    self.run_windows(deadline, true);
+                }
             }
         }
         let end = self.queue.now();
@@ -951,6 +1079,75 @@ impl Network {
         } else {
             Some(self.outcomes.remove(0))
         }
+    }
+
+    // ---- conservative-lookahead windows (see crate::par) -------------
+
+    /// The largest instant every link may safely be advanced to, given
+    /// the pending shared-queue events: nothing will be submitted to
+    /// any link strictly before it. Control and re-issue events submit
+    /// at their own firing time, so their earliest pending instance
+    /// (`cr_pending`) is a hard bound; every *other* event (link
+    /// wakes, request timeouts) only ever schedules submit-capable
+    /// work at least one classical control delay after itself, so the
+    /// earliest pending event plus `Topology::min_control_delay`
+    /// bounds everything derived inside the window. While a
+    /// single-edge request is in flight the lookahead collapses to
+    /// the next event: such a request completes at a link delivery,
+    /// and a completion must never find other links run ahead past it
+    /// (the caller may submit at the completion instant).
+    fn safe_horizon(&self, cap: SimTime) -> SimTime {
+        let mut h = cap;
+        if let Some(&Reverse(t)) = self.cr_pending.peek() {
+            h = h.min(t);
+        }
+        if let Some(t) = self.queue.peek_time() {
+            let guard = if self.short_requests > 0 {
+                t
+            } else {
+                t + self.min_control_delay
+            };
+            h = h.min(guard);
+        }
+        h
+    }
+
+    /// The sharded engine: repeatedly pick a safe window horizon, run
+    /// every link ahead to it across the shard pool, then drain the
+    /// shared queue up to it exactly as the sequential engine would.
+    /// With `stop_on_outcome`, returns as soon as an outcome lands
+    /// (mid-window; the remaining window events stay pending, exactly
+    /// like the sequential engine stopping mid-queue — the lookahead
+    /// rule guarantees no link has run past the completion instant).
+    fn run_windows(&mut self, horizon: SimTime, stop_on_outcome: bool) {
+        loop {
+            let h = self.safe_horizon(horizon);
+            let threads = self.exec.threads();
+            if self.pool.as_ref().map(ShardPool::threads) != Some(threads) {
+                self.pool = Some(ShardPool::new(threads));
+            }
+            self.pool
+                .as_ref()
+                .expect("pool just built")
+                .run_window(&mut self.links, h);
+            while let Some((t, ev)) = self.queue.pop_until(h) {
+                self.handle(t, ev);
+                if stop_on_outcome && !self.outcomes.is_empty() {
+                    return;
+                }
+            }
+            if h >= horizon {
+                return;
+            }
+        }
+    }
+
+    /// Schedules a control / re-issue event — the class that may
+    /// submit CREATEs at its own firing time — keeping the pending
+    /// minimum the window lookahead depends on in sync.
+    fn schedule_cr(&mut self, delay: SimDuration, ev: NetEvent) {
+        self.cr_pending.push(Reverse(self.queue.now() + delay));
+        self.queue.schedule_in(delay, ev);
     }
 
     /// Takes every completed outcome accumulated so far.
@@ -972,6 +1169,9 @@ impl Network {
             return;
         }
         if let Some(req) = self.requests.remove(&request) {
+            if req.edges.len() == 1 {
+                self.short_requests -= 1;
+            }
             for &n in &req.path {
                 self.nodes[n].release(request);
             }
@@ -1035,6 +1235,8 @@ impl Network {
                 self.schedule_wake(link);
             }
             NetEvent::Control { at, msg } => {
+                let fired = self.cr_pending.pop();
+                debug_assert_eq!(fired, Some(Reverse(t)), "control tracking out of sync");
                 self.record(t, TraceKind::Control(at));
                 match msg {
                     ControlMsg::Reserve { request } => self.on_reserve(request, at),
@@ -1061,7 +1263,28 @@ impl Network {
             NetEvent::RequestTimeout { request, attempt } => {
                 self.on_request_timeout(request, attempt, t);
             }
-            NetEvent::Reissue { request } => self.on_reissue(request, t),
+            NetEvent::Reissue { request } => {
+                let fired = self.cr_pending.pop();
+                debug_assert_eq!(fired, Some(Reverse(t)), "re-issue tracking out of sync");
+                self.on_reissue(request, t);
+            }
+            NetEvent::Expire {
+                edge,
+                side,
+                create_id,
+            } => {
+                let fired = self.cr_pending.pop();
+                debug_assert_eq!(fired, Some(Reverse(t)), "expire tracking out of sync");
+                self.links[edge].advance_to(t);
+                // Same lookahead contract as `submit_nl`.
+                debug_assert_eq!(
+                    self.links[edge].now(),
+                    t,
+                    "retraction into a link that ran ahead of the lookahead bound"
+                );
+                self.links[edge].expire_request(side, create_id);
+                self.schedule_wake(edge);
+            }
         }
     }
 
@@ -1089,6 +1312,14 @@ impl Network {
         let now = self.queue.now();
         // Align the link's clock with the global instant of submission.
         self.links[edge_idx].advance_to(now);
+        // The lookahead contract: a link must never have *computed*
+        // past an instant the network still submits at (`now()` is the
+        // link's internal clock, which run-ahead moves).
+        debug_assert_eq!(
+            self.links[edge_idx].now(),
+            now,
+            "submit into a link that ran ahead of the lookahead bound"
+        );
         let create_id = self.links[edge_idx].submit(
             side,
             GeneratedRequest {
@@ -1117,7 +1348,7 @@ impl Network {
         }
         let next = req.path[pos + 1];
         let delay = self.topo.edge(req.edges[pos]).control_delay;
-        self.queue.schedule_in(
+        self.schedule_cr(
             delay,
             NetEvent::Control {
                 at: next,
@@ -1146,6 +1377,39 @@ impl Network {
     /// in earlier PRs (it surfaces as a driver-level timeout). The
     /// choice is the request's `armed` flag, pinned at issue time, so
     /// knob changes mid-flight never strand or surprise a stream.
+    /// Retracts every CREATE of `request` still queued inside a link.
+    /// The retraction notice travels the edge's classical control
+    /// channel (a [`NetEvent::Expire`] one control delay out — also
+    /// what keeps the parallel engine's lookahead sound: a failure
+    /// detected at a link wake must not touch links inside the current
+    /// window); on arrival the link-layer EXPIRE hook removes the
+    /// request at both EGPs, so the links stop spending attempt cycles
+    /// on pairs nobody will use and `edge_load`'s release above
+    /// reflects the links' true backlog. Keys are scheduled in sorted
+    /// order — HashMap iteration order must never leak into the event
+    /// stream.
+    fn retract_pending_creates(&mut self, request: u64) {
+        let mut keys: Vec<(usize, usize, u16)> = self
+            .pending_creates
+            .iter()
+            .filter_map(|(k, r)| (*r == request).then_some(*k))
+            .collect();
+        keys.sort_unstable();
+        for key in keys {
+            self.pending_creates.remove(&key);
+            let (edge, side, create_id) = key;
+            let delay = self.topo.edge(edge).control_delay;
+            self.schedule_cr(
+                delay,
+                NetEvent::Expire {
+                    edge,
+                    side,
+                    create_id,
+                },
+            );
+        }
+    }
+
     fn on_rejection(&mut self, edge_idx: usize, r: Rejection, t: SimTime) {
         let key = (edge_idx, r.origin, r.create_id);
         let Some(&request) = self.pending_creates.get(&key) else {
@@ -1174,30 +1438,31 @@ impl Network {
     }
 
     /// Fails the current attempt of `request`: releases every
-    /// reservation it holds (node state, edge loads, pending CREATEs),
-    /// extends its excluded-edge set — the specific rejecting edge
-    /// when known, the whole failed path on a timeout — and either
-    /// parks it for re-issue (budget left) or abandons it.
+    /// reservation it holds (node state, edge loads), *retracts* its
+    /// CREATEs still queued inside the links' EGPs
+    /// ([`LinkSimulation::expire_request`] — both endpoints drop the
+    /// queued request and stop spending attempt cycles on it, so
+    /// `edge_load` stays an exact congestion signal through timeout
+    /// storms), extends its excluded-edge set — the specific rejecting
+    /// edge when known, the whole failed path on a timeout — and
+    /// either parks it for re-issue (budget left) or abandons it.
     ///
-    /// Known limitation (as for [`Network::cancel_request`]): the
-    /// attempt's CREATEs already queued inside the links' EGPs cannot
-    /// be retracted — their pairs, if served, are simply discarded —
-    /// so for a short window after a timeout storm `edge_load`
-    /// under-counts the true backlog of the edges that just failed.
-    /// Excluding those edges from the re-plan is what keeps re-issued
-    /// attempts from piling back onto them; a link-layer
-    /// CREATE-retract (EXPIRE) hook is a ROADMAP item.
+    /// [`LinkSimulation::expire_request`]:
+    ///     qlink_sim::link::LinkSimulation::expire_request
     fn fail_attempt(&mut self, request: u64, failed_edge: Option<usize>, t: SimTime) {
         let Some(req) = self.requests.remove(&request) else {
             return;
         };
+        if req.edges.len() == 1 {
+            self.short_requests -= 1;
+        }
         for &n in &req.path {
             self.nodes[n].release(request);
         }
         for &e in &req.edges {
             self.edge_load[e] -= 1;
         }
-        self.pending_creates.retain(|_, r| *r != request);
+        self.retract_pending_creates(request);
 
         let mut excluded = req.seed.excluded;
         let implicated: &[usize] = match failed_edge {
@@ -1228,7 +1493,16 @@ impl Network {
         self.reroutes += 1;
         self.record(t, TraceKind::Reroute(request));
         let base = self.topo.path_control_delay(&req.path).as_secs_f64();
-        let backoff = SimDuration::from_secs_f64(base * (1.0 + self.reroute_rng.uniform()));
+        // One jitter draw per failure whatever the policy, so changing
+        // the policy never shifts the `net/reroute` substream.
+        let jitter = self.reroute_rng.uniform();
+        let backoff = self
+            .backoff
+            .delay(base, req.seed.attempt, jitter)
+            // Zero-delay re-issues would fire inside the failing
+            // window; at least one control delay must pass anyway
+            // before the released capacity is real.
+            .max(self.min_control_delay);
         self.parked.insert(
             request,
             ParkedReroute {
@@ -1244,8 +1518,7 @@ impl Network {
                 },
             },
         );
-        self.queue
-            .schedule_in(backoff, NetEvent::Reissue { request });
+        self.schedule_cr(backoff, NetEvent::Reissue { request });
     }
 
     /// A failed stream's backoff elapsed: re-plan against the
@@ -1447,7 +1720,7 @@ impl Network {
         let edge = self.topo.edge(edge_idx);
         let delay = edge.control_delay;
         for node in [edge.a, edge.b] {
-            self.queue.schedule_in(
+            self.schedule_cr(
                 delay,
                 NetEvent::Control {
                     at: node,
@@ -1569,7 +1842,7 @@ impl Network {
             (req.path[pos - 1], req.edges[pos - 1])
         };
         let delay = self.topo.edge(via).control_delay;
-        self.queue.schedule_in(
+        self.schedule_cr(
             delay,
             NetEvent::Control {
                 at: next,
@@ -1612,6 +1885,9 @@ impl Network {
         let Some(req) = self.requests.remove(&request) else {
             return;
         };
+        if req.edges.len() == 1 {
+            self.short_requests -= 1;
+        }
         for &n in &req.path {
             self.nodes[n].release(request);
         }
@@ -1712,7 +1988,7 @@ impl Network {
             (accepted, delay)
         };
         let at = self.groups[&group].done[0].path[0];
-        self.queue.schedule_in(
+        self.schedule_cr(
             delay,
             NetEvent::Control {
                 at,

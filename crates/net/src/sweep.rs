@@ -9,6 +9,7 @@
 //! results.
 
 use crate::network::Network;
+use crate::par::ExecMode;
 use crate::purify::PurifyPolicy;
 use crate::route::{FidelityProduct, HopCount, Latency, LoadScaledLatency};
 use crate::topology::Topology;
@@ -44,6 +45,40 @@ pub enum MetricChoice {
     /// by each edge's live reservation count
     /// ([`crate::route::LoadScaledLatency`]).
     LoadLatency,
+}
+
+/// How each run of a sweep advances its network (the sweep-level
+/// handle on [`ExecMode`]; results are bit-identical across all
+/// choices — only wall-clock time changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecChoice {
+    /// Let the sweep driver decide: when there are more worker threads
+    /// than jobs and the topology is large enough to profit, the
+    /// spare threads parallelise *within* each run
+    /// ([`ExecMode::Sharded`]); otherwise runs stay sequential and
+    /// parallelism comes from fanning runs across threads. A lone
+    /// [`run_one`] call under `Auto` follows the `QLINK_EXEC`
+    /// environment variable.
+    #[default]
+    Auto,
+    /// Force the classic single-threaded engine per run.
+    Sequential,
+    /// Force intra-topology sharding on this many threads per run.
+    Sharded(usize),
+}
+
+impl ExecChoice {
+    /// The concrete mode for one run, given how many threads the
+    /// scheduler grants it (`Auto` only).
+    fn resolve(self, granted: usize) -> Option<ExecMode> {
+        match self {
+            ExecChoice::Auto if granted > 1 => Some(ExecMode::Sharded(granted)),
+            // Leave the network on its env-derived default.
+            ExecChoice::Auto => None,
+            ExecChoice::Sequential => Some(ExecMode::Sequential),
+            ExecChoice::Sharded(n) => Some(ExecMode::Sharded(n)),
+        }
+    }
 }
 
 /// Which topology a sweep run instantiates.
@@ -142,6 +177,9 @@ pub struct ScenarioSpec {
     /// (rather than on link rejection) needs it set below
     /// [`ScenarioSpec::max_time`].
     pub request_timeout: Option<SimDuration>,
+    /// Execution engine per run (see [`ExecChoice`]; results are
+    /// bit-identical across all choices).
+    pub exec: ExecChoice,
 }
 
 impl ScenarioSpec {
@@ -166,6 +204,7 @@ impl ScenarioSpec {
             pairs: Vec::new(),
             retries: 0,
             request_timeout: None,
+            exec: ExecChoice::Auto,
         }
     }
 
@@ -237,6 +276,16 @@ impl ScenarioSpec {
     /// re-routing).
     pub fn with_request_timeout(mut self, timeout: SimDuration) -> Self {
         self.request_timeout = Some(timeout);
+        self
+    }
+
+    /// Builder: execution engine per run ([`ExecChoice::Sharded`]
+    /// forces intra-topology parallelism, [`ExecChoice::Sequential`]
+    /// forces the classic engine, [`ExecChoice::Auto`] — the default —
+    /// lets [`sweep`] split threads between run-level and
+    /// intra-topology parallelism by topology size).
+    pub fn with_exec(mut self, exec: ExecChoice) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -352,9 +401,26 @@ impl SweepReport {
     }
 }
 
+/// Topologies below this node count never profit from intra-run
+/// sharding (windows are too small to amortise the barrier), so the
+/// hybrid scheduler leaves spare threads idle rather than forcing
+/// them onto tiny runs.
+const INTRA_NODES_MIN: usize = 16;
+
 /// Executes one (scenario, seed) cell of the matrix.
 pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
+    run_one_granted(spec, seed, 1)
+}
+
+/// [`run_one`] with `granted` compute threads at this run's disposal —
+/// what the hybrid scheduler in [`sweep`] hands a job when there are
+/// more worker threads than jobs. Results are independent of
+/// `granted`.
+fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord {
     let mut net = Network::new(spec.topology(seed), seed);
+    if let Some(mode) = spec.exec.resolve(granted) {
+        net.set_exec(mode);
+    }
     match spec.metric {
         MetricChoice::Hops => net.set_route_metric(HopCount),
         MetricChoice::Latency => net.set_route_metric(Latency),
@@ -435,7 +501,18 @@ pub fn run_one(spec: &ScenarioSpec, seed: u64) -> RunRecord {
 
 /// Fans `specs × seeds` across up to `threads` OS threads and merges
 /// the results. The merge order is deterministic (scenario-major, then
-/// seed order), so the report is independent of scheduling.
+/// seed order), so the report is independent of scheduling — and
+/// because the sharded engine is bit-identical to the sequential one,
+/// it is independent of the execution split too.
+///
+/// **Hybrid scheduling:** run-level fan-out uses at most one thread
+/// per job. When `threads` exceeds the job count, the spare threads
+/// are divided evenly among the jobs and each `Auto`-exec run with a
+/// large enough topology (≥ 16 nodes) advances its links under
+/// [`ExecMode::Sharded`] on its share — few giant runs use the whole
+/// machine, many small runs keep the classic one-run-per-thread
+/// layout. [`ExecChoice::Sequential`]/[`ExecChoice::Sharded`] on a
+/// spec override the split for its runs.
 ///
 /// # Panics
 /// Panics if `specs` or `seeds` is empty, or `threads == 0`.
@@ -450,6 +527,19 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
         .flat_map(|(si, _)| seeds.iter().map(move |&s| (si, s)))
         .collect();
     let workers = threads.min(jobs.len());
+    // Spare threads (more threads than jobs) parallelise *within*
+    // runs whose topology is big enough to profit.
+    let spare_share = (threads / jobs.len().max(1)).max(1);
+    let granted: Vec<usize> = specs
+        .iter()
+        .map(|s| {
+            if s.node_count() >= INTRA_NODES_MIN {
+                spare_share
+            } else {
+                1
+            }
+        })
+        .collect();
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<RunRecord>>> = Mutex::new(vec![None; jobs.len()]);
 
@@ -460,7 +550,7 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 let Some(&(si, seed)) = jobs.get(job) else {
                     break;
                 };
-                let mut record = run_one(&specs[si], seed);
+                let mut record = run_one_granted(&specs[si], seed, granted[si]);
                 record.scenario = si;
                 results.lock().expect("worker panicked holding results")[job] = Some(record);
             });

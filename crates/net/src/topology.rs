@@ -330,6 +330,22 @@ impl Topology {
             .collect()
     }
 
+    /// The smallest classical control delay of any edge — the
+    /// conservative lookahead bound of the parallel execution engine
+    /// (see [`crate::par`]): no control message scheduled while
+    /// processing events at time `t` can fire before `t + d_min`, so
+    /// link shards may safely run ahead that far between barriers.
+    ///
+    /// # Panics
+    /// Panics on a topology with no edges.
+    pub fn min_control_delay(&self) -> SimDuration {
+        self.edges
+            .iter()
+            .map(|e| e.control_delay)
+            .min()
+            .expect("a topology needs at least one edge")
+    }
+
     /// One-way classical latency along a node path: the sum of every
     /// hop's control-channel delay. What a hop-by-hop message (a swap
     /// result, an end-to-end purification parity bit) pays to cross

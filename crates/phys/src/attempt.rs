@@ -26,7 +26,7 @@ use qlink_quantum::channels;
 use qlink_quantum::gates;
 use qlink_quantum::{Basis, QuantumState};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Observed outcome of one attempt, as heralded by the station.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -284,7 +284,7 @@ impl AttemptModel {
 /// few 16×16 matrix chains, sampling from it is O(1).
 #[derive(Debug, Default)]
 pub struct ModelCache {
-    map: HashMap<u64, Rc<AttemptModel>>,
+    map: HashMap<u64, Arc<AttemptModel>>,
 }
 
 impl ModelCache {
@@ -296,10 +296,10 @@ impl ModelCache {
     }
 
     /// Returns (building if necessary) the model for `(params, α)`.
-    pub fn get(&mut self, params: &ScenarioParams, alpha: f64) -> Rc<AttemptModel> {
+    pub fn get(&mut self, params: &ScenarioParams, alpha: f64) -> Arc<AttemptModel> {
         self.map
             .entry(alpha.to_bits())
-            .or_insert_with(|| Rc::new(AttemptModel::build(params, alpha)))
+            .or_insert_with(|| Arc::new(AttemptModel::build(params, alpha)))
             .clone()
     }
 
@@ -464,7 +464,7 @@ mod tests {
         let mut cache = ModelCache::new();
         let a = cache.get(&p, 0.3);
         let b = cache.get(&p, 0.3);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         let _c = cache.get(&p, 0.31);
         assert_eq!(cache.len(), 2);
     }

@@ -84,13 +84,16 @@ pub use qlink_wire as wire;
 pub mod prelude {
     pub use crate::des::{DetRng, SimDuration, SimTime};
     pub use crate::net::chain::RepeaterChain;
-    pub use crate::net::network::{EndToEndOutcome, Network};
+    pub use crate::net::network::{BackoffPolicy, EndToEndOutcome, Network};
+    pub use crate::net::par::ExecMode;
     pub use crate::net::purify::PurifyPolicy;
     pub use crate::net::route::{
         EdgeProfile, FidelityProduct, HopCount, Latency, LoadScaledLatency, PlanContext, Route,
         RouteMetric, RoutePlanner,
     };
-    pub use crate::net::sweep::{sweep, MetricChoice, ScenarioSpec, SweepReport, TopologyChoice};
+    pub use crate::net::sweep::{
+        sweep, ExecChoice, MetricChoice, ScenarioSpec, SweepReport, TopologyChoice,
+    };
     pub use crate::net::topology::Topology;
     pub use crate::phys::params::{Scenario, ScenarioParams};
     pub use crate::quantum::bell::{bell_fidelity, BellState, Qber};

@@ -21,7 +21,7 @@ use qlink_quantum::Basis;
 use qlink_wire::egp::{CreateMsg, EgpErrorCode, WireBasis};
 use qlink_wire::fields::{Fidelity16, RequestFlags, RequestType};
 use qlink_wire::Frame;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Node IDs on the wire (A is the distributed-queue master).
 pub const NODE_A: u32 = 1;
@@ -127,6 +127,17 @@ pub struct LinkSimulation {
     tracking: HashMap<(usize, u16), RequestTracking>,
     deliveries: Option<Vec<Delivery>>,
     rejections: Option<Vec<Rejection>>,
+    /// The embedding layer's observation cursor: how far the link has
+    /// been *observed* ([`LinkSimulation::advance_to`]), as opposed to
+    /// how far its internal events have been *computed*
+    /// ([`LinkSimulation::run_ahead`] may push computation past the
+    /// cursor). Always equal to the internal clock outside run-ahead.
+    visible: SimTime,
+    /// Firing times of events computed ahead of `visible`, in firing
+    /// order — replayed by [`LinkSimulation::next_event_time`] /
+    /// [`LinkSimulation::advance_to`] so an embedding layer observes
+    /// the same wake cadence whether or not the link ran ahead.
+    replay: VecDeque<SimTime>,
     /// Metrics collected so far.
     pub metrics: LinkMetrics,
     next_cycle_scheduled: u64,
@@ -197,6 +208,8 @@ impl LinkSimulation {
             tracking: HashMap::new(),
             deliveries: None,
             rejections: None,
+            visible: SimTime::ZERO,
+            replay: VecDeque::new(),
             metrics: LinkMetrics::new(),
             next_cycle_scheduled: 0,
             cfg,
@@ -241,6 +254,29 @@ impl LinkSimulation {
         create_id
     }
 
+    /// Retracts a CREATE previously submitted on `origin` whose pairs
+    /// the higher layer no longer wants: the EGP abandons the queued
+    /// request locally, tells its peer to do the same (a RETRACT frame
+    /// over the node-to-node channel, retransmitted until
+    /// acknowledged), and stops spending attempt cycles on it. The
+    /// observation a re-routing network layer needs so a failed
+    /// attempt's backlog really leaves the link — without this, the
+    /// orphaned CREATE keeps consuming cycles until it is served (and
+    /// its pairs discarded on delivery).
+    ///
+    /// No-op for a CREATE already completed, rejected, or unknown.
+    /// As for an embedding layer's [`LinkSimulation::submit`], the
+    /// caller must have advanced the link to the retraction instant
+    /// first (an embedding asserts this on its side: a link must
+    /// never run ahead of an instant something will still be
+    /// submitted at).
+    pub fn expire_request(&mut self, origin: usize, create_id: u16) {
+        let cycle = self.current_cycle();
+        self.tracking.remove(&(origin, create_id));
+        let events = self.egps[origin].expire_request(create_id, cycle);
+        self.route(origin, events);
+    }
+
     /// Runs the simulation for `duration` of simulated time.
     pub fn run_for(&mut self, duration: SimDuration) {
         let horizon = self.queue.now() + duration;
@@ -255,26 +291,64 @@ impl LinkSimulation {
     // fires, advance a link exactly to a global instant, and observe
     // the pairs delivered along the way. These three methods are that
     // contract; `run_for` is now a thin wrapper over `advance_to`.
+    //
+    // The contract distinguishes *computing* events from *observing*
+    // them. `run_ahead` lets a parallel embedding (see `qlink-net`'s
+    // `par` module) burn through a link's internal events up to a safe
+    // horizon on a worker thread, while the coordinator keeps
+    // observing — `next_event_time`, `advance_to`, the drains — at the
+    // exact same instants it would have without the run-ahead: fired
+    // times are replayed, and drains only surface records at or before
+    // the observation cursor. A link that never runs ahead behaves
+    // bit-identically to the pre-run-ahead implementation.
 
-    /// Firing time of this link's next internal event (`None` only for
-    /// a drained queue, which cannot happen while the MHP cycle clock
-    /// keeps self-scheduling).
+    /// Firing time of this link's next *observable* event: the next
+    /// recorded firing when the link has run ahead of its observation
+    /// cursor, the next pending internal event otherwise. (`None` only
+    /// for a drained queue, which cannot happen while the MHP cycle
+    /// clock keeps self-scheduling.)
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek_time()
+        self.replay
+            .front()
+            .copied()
+            .or_else(|| self.queue.peek_time())
     }
 
-    /// Processes every pending event up to and including `t`, then
-    /// parks the link's clock exactly at `t`.
+    /// Moves the observation cursor to exactly `t`: replays recorded
+    /// firings at or before `t`, then (if the link has not already
+    /// computed past `t`) processes every pending event up to and
+    /// including `t` and parks the link's clock at `t`.
     ///
     /// Does *not* advance [`LinkMetrics::elapsed`] — an embedding layer
     /// accounts elapsed time once, globally.
     ///
     /// # Panics
-    /// Panics if `t` precedes the link's current time (the DES never
+    /// Panics if `t` precedes the observation cursor (the DES never
     /// rewinds).
     pub fn advance_to(&mut self, t: SimTime) {
-        assert!(t >= self.queue.now(), "advance_to into the past");
+        assert!(t >= self.visible, "advance_to into the past");
+        self.visible = t;
+        while self.replay.front().is_some_and(|&rt| rt <= t) {
+            self.replay.pop_front();
+        }
+        // No-op when run-ahead already computed past `t`: the internal
+        // clock is at the last computed event and every event ≤ `t` has
+        // fired (`pop_until` never rewinds the clock).
         while let Some((et, ev)) = self.queue.pop_until(t) {
+            self.handle(et, ev);
+        }
+    }
+
+    /// Processes internal events up to and including `h` *ahead of*
+    /// the observation cursor, recording each event's firing time for
+    /// later replay. Safe exactly when nothing will be submitted to
+    /// (or observed from) this link before the cursor reaches `h` —
+    /// the conservative-lookahead guarantee a parallel embedding must
+    /// establish before calling this from a worker thread.
+    pub fn run_ahead(&mut self, h: SimTime) {
+        while self.queue.peek_time().is_some_and(|t| t <= h) {
+            let (et, ev) = self.queue.pop().expect("event peeked above");
+            self.replay.push_back(et);
             self.handle(et, ev);
         }
     }
@@ -290,14 +364,33 @@ impl LinkSimulation {
         }
     }
 
-    /// Takes every pair delivered since the last drain, in delivery
-    /// order (empty unless [`LinkSimulation::capture_deliveries`] was
-    /// called).
+    /// Takes every pair delivered up to the observation cursor since
+    /// the last drain, in delivery order (empty unless
+    /// [`LinkSimulation::capture_deliveries`] was called). Pairs a
+    /// run-ahead computed *past* the cursor stay buffered until
+    /// [`LinkSimulation::advance_to`] reaches their delivery instant.
     pub fn drain_deliveries(&mut self) -> Vec<Delivery> {
-        self.deliveries
-            .as_mut()
-            .map(std::mem::take)
-            .unwrap_or_default()
+        Self::take_through_cursor(&mut self.deliveries, self.visible, |d| d.at)
+    }
+
+    /// Splits a capture buffer at the observation cursor: entries at
+    /// or before it are returned, later ones stay buffered. Buffer
+    /// times are non-decreasing (push order is event order).
+    fn take_through_cursor<T>(
+        buf: &mut Option<Vec<T>>,
+        cursor: SimTime,
+        at: impl Fn(&T) -> SimTime,
+    ) -> Vec<T> {
+        let Some(buf) = buf.as_mut() else {
+            return Vec::new();
+        };
+        let cut = buf.partition_point(|x| at(x) <= cursor);
+        if cut == buf.len() {
+            std::mem::take(buf)
+        } else {
+            let tail = buf.split_off(cut);
+            std::mem::replace(buf, tail)
+        }
     }
 
     /// Starts recording per-CREATE [`Rejection`] records for
@@ -310,14 +403,13 @@ impl LinkSimulation {
         }
     }
 
-    /// Takes every terminal rejection since the last drain, in event
-    /// order (empty unless [`LinkSimulation::capture_rejections`] was
-    /// called).
+    /// Takes every terminal rejection up to the observation cursor
+    /// since the last drain, in event order (empty unless
+    /// [`LinkSimulation::capture_rejections`] was called). Rejections
+    /// a run-ahead computed past the cursor stay buffered, as for
+    /// [`LinkSimulation::drain_deliveries`].
     pub fn drain_rejections(&mut self) -> Vec<Rejection> {
-        self.rejections
-            .as_mut()
-            .map(std::mem::take)
-            .unwrap_or_default()
+        Self::take_through_cursor(&mut self.rejections, self.visible, |r| r.at)
     }
 
     fn current_cycle(&self) -> u64 {

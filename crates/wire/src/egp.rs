@@ -136,6 +136,39 @@ impl ExpireAckMsg {
     }
 }
 
+/// Full-request retraction: the originator's higher layer abandoned
+/// the CREATE (a network-layer attempt failed or was cancelled), so
+/// both nodes drop the queued request entirely and stop spending
+/// attempt cycles on it. Acknowledged with an `EXPIRE-ACK` for the
+/// same queue ID; retransmitted until acknowledged, like `EXPIRE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetractMsg {
+    /// Absolute queue ID of the retracted request.
+    pub queue_id: AbsQueueId,
+    /// Node where the request originated (`Origin ID`).
+    pub origin_id: u32,
+    /// The originator's create ID.
+    pub create_id: u16,
+}
+
+impl RetractMsg {
+    /// Serialises the body.
+    pub fn encode(&self, w: &mut Writer) {
+        self.queue_id.encode(w);
+        w.put_u32(self.origin_id);
+        w.put_u16(self.create_id);
+    }
+
+    /// Parses the body.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RetractMsg {
+            queue_id: AbsQueueId::decode(r)?,
+            origin_id: r.get_u32()?,
+            create_id: r.get_u16()?,
+        })
+    }
+}
+
 /// Memory advertisement `REQ(E)` / `ACK(E)` (Fig. 34): each EGP tells
 /// its peer how many communication and storage qubits are free, used
 /// for flow control (§4.5 "Scheduling and flow control").

@@ -10,6 +10,7 @@ use crate::crc::crc32;
 use crate::dqp::DqpMessage;
 use crate::egp::{
     CreateMsg, ErrMsg, ExpireAckMsg, ExpireMsg, MemoryAdvertMsg, OkKeepMsg, OkMeasureMsg,
+    RetractMsg,
 };
 use crate::mhp::{GenMsg, ReplyMsg};
 
@@ -38,6 +39,8 @@ pub enum Frame {
     OkMeasure(OkMeasureMsg),
     /// EGP → higher layer error.
     Err(ErrMsg),
+    /// EGP full-request retraction (node ↔ node).
+    Retract(RetractMsg),
 }
 
 impl Frame {
@@ -53,6 +56,7 @@ impl Frame {
             Frame::OkKeep(_) => 0x08,
             Frame::OkMeasure(_) => 0x09,
             Frame::Err(_) => 0x0A,
+            Frame::Retract(_) => 0x0B,
         }
     }
 
@@ -69,6 +73,7 @@ impl Frame {
             Frame::OkKeep(_) => "OK(K)",
             Frame::OkMeasure(_) => "OK(M)",
             Frame::Err(_) => "ERR",
+            Frame::Retract(_) => "RETRACT",
         }
     }
 
@@ -87,6 +92,7 @@ impl Frame {
             Frame::OkKeep(m) => m.encode(&mut w),
             Frame::OkMeasure(m) => m.encode(&mut w),
             Frame::Err(m) => m.encode(&mut w),
+            Frame::Retract(m) => m.encode(&mut w),
         }
         let mut bytes = w.into_bytes();
         let crc = crc32(&bytes);
@@ -122,6 +128,7 @@ impl Frame {
             0x08 => Frame::OkKeep(OkKeepMsg::decode(&mut r)?),
             0x09 => Frame::OkMeasure(OkMeasureMsg::decode(&mut r)?),
             0x0A => Frame::Err(ErrMsg::decode(&mut r)?),
+            0x0B => Frame::Retract(RetractMsg::decode(&mut r)?),
             _ => return Err(WireError::BadValue("frame discriminator")),
         };
         r.finish()?;
@@ -175,6 +182,11 @@ mod tests {
                     consecutive: true,
                     ..Default::default()
                 },
+            }),
+            Frame::Retract(RetractMsg {
+                queue_id: AbsQueueId::new(0, 5),
+                origin_id: 1,
+                create_id: 7,
             }),
         ]
     }

@@ -11,9 +11,15 @@
 //! * PR 3's scenario stats reproduce bit-identically under the new
 //!   plumbing (re-route draws live on their own `net/reroute`
 //!   substream and no timeout events exist unless armed).
+//!
+//! PR 5 adds two satellite families: the adaptive re-route backoff
+//! (`BackoffPolicy` — default pinned to PR 4's jittered delay,
+//! exponential growth and cap asserted against trace times) and
+//! CREATE retraction (a timeout storm leaves both EGP queues empty,
+//! so `edge_load` matches the links' true backlog).
 
 use qlink::net::sweep::{run_one, RunRecord};
-use qlink::net::MetricChoice;
+use qlink::net::{MetricChoice, TraceKind};
 use qlink::prelude::*;
 
 fn lab(seed: u64) -> LinkConfig {
@@ -438,4 +444,153 @@ fn sweep_merges_timeout_and_reroute_counters() {
         assert_eq!(a.events, b.events);
         assert_eq!(a.fidelity.mean().to_bits(), b.fidelity.mean().to_bits());
     }
+}
+
+// ---- adaptive retry backoff (PR 5 satellite) ------------------------
+
+/// The failure times of every re-route of a 1-edge stream whose link
+/// UNSUPPs Fmin 0.6 forever: each attempt is rejected almost
+/// instantly, so consecutive `Reroute` trace times are dominated by
+/// the backoff delays between them. The edge's control delay is
+/// overridden to 120 µs (metropolitan scale) so backoff differences
+/// dwarf the MHP-cycle-scale rejection-detection jitter.
+fn reroute_times(policy: Option<BackoffPolicy>, retries: u32) -> (Vec<u64>, u64) {
+    let mut topo = Topology::chain(2, |_| noisy_lab(21));
+    topo.set_control_delay(0, SimDuration::from_micros(120));
+    let mut net = Network::new(topo, 21);
+    if let Some(p) = policy {
+        net.set_backoff_policy(p);
+        assert_eq!(net.backoff_policy(), p);
+    }
+    net.set_retry_budget(retries);
+    net.enable_trace();
+    net.request_on_path(&[0, 1], 0.6);
+    net.run_for(SimDuration::from_millis(100));
+    let times = net
+        .trace()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::Reroute(_)))
+        .map(|e| e.at.as_ps())
+        .collect();
+    (times, net.events_fired())
+}
+
+/// The default backoff is PR 4's single jittered control delay,
+/// pinned: never touching the knob and explicitly selecting
+/// `BackoffPolicy::Jittered` produce bit-identical runs.
+#[test]
+fn default_backoff_is_pinned_to_jittered() {
+    let untouched = reroute_times(None, 3);
+    let explicit = reroute_times(Some(BackoffPolicy::Jittered), 3);
+    assert_eq!(untouched.0.len(), 3, "the stream must re-route 3 times");
+    assert_eq!(untouched, explicit, "default must equal Jittered exactly");
+}
+
+/// Exponential backoff doubles the re-issue delay per failed attempt.
+/// Both policies draw the same jitter values from the same substream,
+/// so the first re-route (and the second: attempt 0's factor is
+/// 2⁰ = 1) land at identical instants, after which the exponential
+/// run falls measurably behind — by at least one extra control delay
+/// per doubled attempt.
+#[test]
+fn exponential_backoff_spaces_retries_out() {
+    let base_ps = SimDuration::from_micros(120).as_ps();
+    let (jit, _) = reroute_times(Some(BackoffPolicy::Jittered), 3);
+    let (exp, _) = reroute_times(
+        Some(BackoffPolicy::Exponential {
+            cap: SimDuration::from_secs(1),
+        }),
+        3,
+    );
+    assert_eq!(jit.len(), 3);
+    assert_eq!(exp.len(), 3);
+    assert_eq!(jit[0], exp[0], "first failure predates any backoff");
+    assert_eq!(jit[1], exp[1], "attempt 0 backs off by the same 2⁰ delay");
+    assert!(
+        exp[2] >= jit[2] + base_ps,
+        "attempt 1's doubled backoff must defer the third failure by \
+         at least one control delay ({} vs {})",
+        exp[2],
+        jit[2]
+    );
+}
+
+/// The cap clamps every exponential delay: with it at ~1.2 control
+/// delays, consecutive failures stay tightly spaced however many
+/// attempts have accumulated (each gap = capped backoff + detection,
+/// both bounded), while the uncapped policy's gaps keep doubling.
+#[test]
+fn exponential_backoff_respects_cap() {
+    let cap = SimDuration::from_micros(145);
+    let (capped, _) = reroute_times(Some(BackoffPolicy::Exponential { cap }), 4);
+    assert_eq!(capped.len(), 4);
+    // Gap bound: capped backoff (≤ 145 µs) + UNSUPP detection (a few
+    // MHP cycles ≈ 30 µs of slack).
+    let bound = cap.as_ps() + SimDuration::from_micros(35).as_ps();
+    for w in capped.windows(2) {
+        assert!(
+            w[1] - w[0] <= bound,
+            "capped gap {} exceeds bound {bound}",
+            w[1] - w[0]
+        );
+    }
+    // The unit-level contract, including saturation far past the cap.
+    let pol = BackoffPolicy::Exponential { cap };
+    assert_eq!(
+        pol.delay(120e-6, 0, 0.0),
+        SimDuration::from_secs_f64(120e-6),
+        "attempt 0 is one un-doubled control delay"
+    );
+    assert_eq!(pol.delay(120e-6, 1, 0.5), cap, "2 × 1.5 × 120 µs clamps");
+    assert_eq!(pol.delay(120e-6, 63, 0.9), cap);
+    assert_eq!(pol.delay(120e-6, 64, 0.9), cap, "factor saturates at 2⁶³");
+    assert_eq!(
+        BackoffPolicy::Jittered.delay(120e-6, 7, 0.25),
+        SimDuration::from_secs_f64(120e-6 * 1.25),
+        "jittered ignores the attempt number"
+    );
+}
+
+// ---- CREATE retraction through timeout storms (PR 5 satellite) ------
+
+/// ROADMAP's CREATE-retraction gap, closed: when a timeout storm
+/// fails six concurrent streams on one edge, the link-layer EXPIRE
+/// hook (`LinkSimulation::expire_request`) retracts their queued
+/// CREATEs at *both* EGPs — the link stops spending attempt cycles on
+/// orphaned requests, so `edge_load`'s zero matches the link's true
+/// backlog instead of under-counting it. Before the hook, the six
+/// CREATEs stayed committed until served (seconds later), their pairs
+/// silently discarded on delivery.
+#[test]
+fn timeout_storm_retracts_queued_creates_from_links() {
+    let topo = Topology::chain(2, |_| lab(77));
+    let mut net = Network::new(topo, 77);
+    net.set_request_timeout(Some(SimDuration::from_millis(20)));
+    for _ in 0..6 {
+        net.request_on_path(&[0, 1], 0.6);
+    }
+    assert!(net.link(0).egp(0).queue_len() > 0, "storm must queue up");
+    // 20 ms timeouts + retraction notices crossing the control channel.
+    net.run_for(SimDuration::from_millis(40));
+    assert_eq!(net.timeouts(), 6, "every stream fails inside the storm");
+    assert_eq!(net.edge_load(0), 0, "network-level load released");
+    for side in 0..2 {
+        assert_eq!(
+            net.link(0).egp(side).queue_len(),
+            0,
+            "side {side}: orphaned CREATEs must leave the EGP queue"
+        );
+        assert_eq!(
+            net.link(0).egp(side).tracked_requests(),
+            0,
+            "side {side}: no zombie request state"
+        );
+    }
+    // The link is not wedged: a fresh (unarmed) request completes.
+    net.set_request_timeout(None);
+    net.request_on_path(&[0, 1], 0.6);
+    assert!(
+        net.run_until_outcome(SimDuration::from_secs(20)).is_some(),
+        "post-storm request must still deliver"
+    );
 }

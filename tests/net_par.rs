@@ -1,0 +1,215 @@
+//! Engine-equivalence suite for the conservative-lookahead parallel
+//! executor (`qlink::net::par`, the PR 5 tentpole).
+//!
+//! The contract under test: `ExecMode::Sharded(n)` is **bit-identical**
+//! to `ExecMode::Sequential` — same outcomes, same RNG draws, same
+//! event counts — on every scenario class the repo knows:
+//!
+//! * the PR 1 repeater chain;
+//! * the PR 4 contended 4×4 grid (armed timeouts, retries, re-routes —
+//!   which also drives the new CREATE-retraction machinery through
+//!   both engines);
+//! * the PR 3 purification policies (link-level and end-to-end);
+//! * a property test over seeded random connected graphs for
+//!   n ∈ {2, 4} shards;
+//! * single-edge requests (the lookahead-collapse path: completions
+//!   at link deliveries must never find other links run ahead).
+
+use qlink::net::par::ExecMode;
+use qlink::net::sweep::{run_one, ExecChoice, RunRecord};
+use qlink::net::MetricChoice;
+use qlink::prelude::*;
+
+fn lab(seed: u64) -> LinkConfig {
+    LinkConfig::lab(WorkloadSpec::none(), seed)
+}
+
+/// Every field of a [`RunRecord`] that a simulation trajectory
+/// determines, f64 means compared by bit pattern.
+fn fingerprint(r: &RunRecord) -> (u32, u32, u32, u64, u64, u64, u64, u64, u64) {
+    (
+        r.successes,
+        r.rounds,
+        r.timeouts,
+        r.reroutes,
+        r.events,
+        r.pairs_consumed,
+        r.fidelity.mean().to_bits(),
+        r.latency_s.mean().to_bits(),
+        r.latency_s.variance().to_bits(),
+    )
+}
+
+/// Runs `spec` under Sequential and under `Sharded(n)` for the given
+/// shard counts, asserting bit-identical records per seed.
+fn assert_engine_equivalence(spec: &ScenarioSpec, seeds: &[u64], shards: &[usize]) {
+    for &seed in seeds {
+        let seq = run_one(&spec.clone().with_exec(ExecChoice::Sequential), seed);
+        for &n in shards {
+            let sh = run_one(&spec.clone().with_exec(ExecChoice::Sharded(n)), seed);
+            assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&sh),
+                "{}: Sharded({n}) diverged from Sequential at seed {seed}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_scenarios_are_engine_equivalent() {
+    let spec = ScenarioSpec::lab_chain("chain-3", 3)
+        .with_rounds(2)
+        .with_max_time(SimDuration::from_secs(25));
+    assert_engine_equivalence(&spec, &[1, 7], &[2, 4]);
+}
+
+#[test]
+fn contended_grid_with_reroutes_is_engine_equivalent() {
+    // The PR 4 contention scenario: armed timeouts, retry budget,
+    // load-aware metric — failures, CREATE retractions, and re-issues
+    // all flow through both engines.
+    let spec = ScenarioSpec::lab_grid("contended-grid", 4, 4)
+        .with_pairs(vec![(0, 15), (3, 12), (1, 11), (2, 8), (7, 13), (4, 14)])
+        .with_metric(MetricChoice::LoadLatency)
+        .with_request_timeout(SimDuration::from_millis(300))
+        .with_retries(2)
+        .with_max_time(SimDuration::from_millis(700));
+    let probe = run_one(&spec.clone().with_exec(ExecChoice::Sequential), 5);
+    assert!(probe.reroutes > 0, "seed must actually exercise re-routing");
+    assert_engine_equivalence(&spec, &[1, 5], &[2, 4]);
+}
+
+#[test]
+fn purify_policies_are_engine_equivalent() {
+    for policy in [PurifyPolicy::LinkLevel, PurifyPolicy::EndToEnd] {
+        let spec = ScenarioSpec::lab_chain(policy.name(), 4)
+            .with_carbon_t2(10.0)
+            .with_purify(policy)
+            .with_max_time(SimDuration::from_secs(40));
+        assert_engine_equivalence(&spec, &[3], &[2, 4]);
+    }
+}
+
+/// Single-edge paths complete at a link *delivery* rather than at a
+/// control message, which collapses the window lookahead to the next
+/// event (see `Network::safe_horizon`): the caller may submit again at
+/// the completion instant, so no link may have run past it. A 2-node
+/// "chain" runs this path for every round.
+#[test]
+fn single_edge_requests_are_engine_equivalent() {
+    let spec = ScenarioSpec::lab_chain("one-hop", 2)
+        .with_rounds(3)
+        .with_max_time(SimDuration::from_secs(10));
+    assert_engine_equivalence(&spec, &[2, 9], &[2, 4]);
+}
+
+/// A seeded random connected graph: a random spanning tree plus a few
+/// extra edges, lab-grade links with per-edge seeds.
+fn random_topology(rng: &mut DetRng) -> Topology {
+    let nodes = 5 + rng.below(5) as usize; // 5..=9
+    let mut topo = Topology::new();
+    for _ in 0..nodes {
+        topo.add_node();
+    }
+    let mut edge_seed = 0u64;
+    // Spanning tree: every node links to a random earlier node.
+    for n in 1..nodes {
+        let parent = rng.below(n as u64) as usize;
+        edge_seed += 1;
+        topo.connect(parent, n, lab(1000 + edge_seed));
+    }
+    // Extra chords for alternative routes (skip already-connected
+    // pairs).
+    for _ in 0..3 {
+        let a = rng.below(nodes as u64) as usize;
+        let b = rng.below(nodes as u64) as usize;
+        if a != b && topo.edge_between(a, b).is_none() {
+            edge_seed += 1;
+            topo.connect(a, b, lab(1000 + edge_seed));
+        }
+    }
+    topo
+}
+
+/// Fingerprint of a full multi-request run on an explicit network —
+/// outcomes in delivery order, plus every counter the engines could
+/// skew.
+fn run_network(topo: &Topology, seed: u64, exec: ExecMode) -> Vec<(u64, u64, u64, u64)> {
+    let mut net = Network::new(topo.clone(), seed);
+    net.set_exec(exec);
+    net.set_request_timeout(Some(SimDuration::from_secs(2)));
+    net.set_retry_budget(1);
+    let nodes = topo.node_count();
+    // A couple of cross-traffic pairs, deterministically derived.
+    net.request_entanglement(0, nodes - 1, 0.55);
+    net.request_entanglement(1, nodes - 1, 0.55);
+    let mut out = Vec::new();
+    for _ in 0..2 {
+        if let Some(o) = net.run_until_outcome(SimDuration::from_secs(8)) {
+            out.push((
+                o.request,
+                o.end_to_end_fidelity.to_bits(),
+                o.latency.as_ps(),
+                o.delivered_at.as_ps(),
+            ));
+        }
+    }
+    net.run_for(SimDuration::from_millis(100));
+    out.push((net.reroutes(), net.timeouts(), net.events_fired(), 0));
+    out
+}
+
+/// The property test of the acceptance criteria: over seeded random
+/// graph topologies, `Sharded(n)` reproduces `Sequential` runs
+/// bit-for-bit for n ∈ {2, 4}.
+#[test]
+fn random_graphs_property_sharded_reproduces_sequential() {
+    let mut rng = DetRng::new(0x9a75eed);
+    for case in 0..6u64 {
+        let topo = random_topology(&mut rng);
+        let seed = 100 + case;
+        let seq = run_network(&topo, seed, ExecMode::Sequential);
+        for n in [2, 4] {
+            let sh = run_network(&topo, seed, ExecMode::Sharded(n));
+            assert_eq!(
+                seq,
+                sh,
+                "random graph case {case} ({} nodes): Sharded({n}) diverged",
+                topo.node_count()
+            );
+        }
+    }
+}
+
+/// The sweep driver's hybrid scheduler never changes results: a grid
+/// sweep with more threads than jobs (spare threads sharding within
+/// runs) merges to the same report as the all-sequential layout.
+#[test]
+fn hybrid_sweep_matches_sequential_sweep() {
+    let specs = vec![ScenarioSpec::lab_grid("grid-hybrid", 4, 4)
+        .with_pairs(vec![(0, 15), (3, 12)])
+        .with_max_time(SimDuration::from_millis(400))];
+    let seeds = [1, 2];
+    let plain: Vec<_> = {
+        let specs: Vec<_> = specs
+            .iter()
+            .cloned()
+            .map(|s| s.with_exec(ExecChoice::Sequential))
+            .collect();
+        sweep(&specs, &seeds, 2)
+            .runs
+            .iter()
+            .map(fingerprint)
+            .collect()
+    };
+    // 8 threads over 2 jobs: 4 spare threads per run → Auto shards
+    // each 16-node grid run on 4 threads.
+    let hybrid: Vec<_> = sweep(&specs, &seeds, 8)
+        .runs
+        .iter()
+        .map(fingerprint)
+        .collect();
+    assert_eq!(plain, hybrid, "hybrid thread split changed sweep results");
+}

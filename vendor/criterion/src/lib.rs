@@ -21,19 +21,32 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        // Substring filter, as in the real crate: the first free
+        // argument of `cargo bench -- <filter>` restricts which
+        // benchmark names run (harness flags like `--bench` are
+        // ignored).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(300),
+            filter,
         }
     }
 }
 
 impl Criterion {
+    /// Whether `name` passes the command-line substring filter —
+    /// benchmark groups use this to skip expensive setup (orientation
+    /// runs, topology builds) for filtered-out families.
+    pub fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
     /// Number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(2);
@@ -57,6 +70,9 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.matches(name) {
+            return self;
+        }
         let mut b = Bencher {
             iters: 1,
             elapsed: Duration::ZERO,
