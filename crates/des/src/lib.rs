@@ -15,8 +15,10 @@
 //! * [`rng`] — seedable randomness with deterministic per-component
 //!   substreams, so adding a component never perturbs another
 //!   component's random draws.
-//! * [`trace`] — lightweight time-series recording used by the
-//!   evaluation figures (latency vs time, throughput vs time).
+//! * [`trace`] — lightweight time-series and fixed-bucket histogram
+//!   recording used by the evaluation figures (latency vs time,
+//!   throughput vs time) and the telemetry layer's deterministic
+//!   percentile reports.
 
 pub mod queue;
 pub mod rng;
@@ -26,3 +28,4 @@ pub mod trace;
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{Histogram, TimeSeries};

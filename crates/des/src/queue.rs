@@ -45,6 +45,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -61,6 +62,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            high_water: 0,
         }
     }
 
@@ -85,6 +87,13 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// The most events that were ever pending at once — the engine
+    /// profiler's queue-depth gauge (one comparison per schedule; no
+    /// opt-in needed).
+    pub fn depth_high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics
@@ -98,6 +107,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Schedules `event` after a delay from the current time.
@@ -215,6 +225,18 @@ mod tests {
             }
         }
         assert_eq!(fired, [1, 3, 2]);
+    }
+
+    #[test]
+    fn depth_high_water_tracks_peak_backlog() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.depth_high_water(), 0);
+        for _ in 0..5 {
+            q.schedule_in(us(1), ());
+        }
+        while q.pop().is_some() {}
+        q.schedule_in(us(1), ());
+        assert_eq!(q.depth_high_water(), 5, "peak survives draining");
     }
 
     #[test]

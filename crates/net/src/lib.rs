@@ -39,6 +39,15 @@
 //!   distilled before swapping) or end-to-end (two concurrent streams
 //!   merged by the path ends), with the parity bits crossing the real
 //!   classical control channels;
+//! * [`obs`](mod@obs) — the deterministic telemetry layer:
+//!   request-lifecycle spans (chrome-trace / JSONL exportable),
+//!   fixed-bucket histogram metrics with percentile readout, and
+//!   wall-clock engine profiling — all off by default, all passive
+//!   (recording draws nothing from any RNG and schedules no events,
+//!   so results are bit-identical with telemetry on or off, and the
+//!   sharded engine records the exact same spans as the sequential
+//!   one); enable per network via [`Network::set_telemetry`] or
+//!   process-wide via the `QLINK_TRACE` environment variable;
 //! * [`par`] — conservative-lookahead parallel execution *within* one
 //!   topology: link shards run ahead to window horizons bounded by the
 //!   minimum classical control delay (Chandy–Misra/YAWNS-style
@@ -54,6 +63,7 @@
 pub mod chain;
 pub mod network;
 pub mod node;
+pub mod obs;
 pub mod par;
 pub mod purify;
 pub mod route;
@@ -63,6 +73,10 @@ pub mod topology;
 pub use chain::RepeaterChain;
 pub use network::{BackoffPolicy, EndToEndOutcome, Network, TraceEntry, TraceKind};
 pub use node::{NodeAction, PathRole, SwapAsapNode};
+pub use obs::{
+    chrome_trace_json, spans_jsonl, EngineProfile, Metrics, SpanEvent, SpanStage, Telemetry,
+    TelemetryConfig,
+};
 pub use par::ExecMode;
 pub use purify::PurifyPolicy;
 pub use route::{

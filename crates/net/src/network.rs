@@ -45,6 +45,7 @@
 //! randomness is drawn: earlier PRs' runs reproduce bit-for-bit.
 
 use crate::node::{NodeAction, PathRole, SwapAsapNode};
+use crate::obs::{SpanStage, Telemetry, TelemetryConfig};
 use crate::par::{ExecMode, ShardPool};
 use crate::purify::PurifyPolicy;
 use crate::route::{HopCount, PlanContext, Route, RouteMetric, RoutePlanner};
@@ -59,6 +60,7 @@ use qlink_sim::link::{Delivery, LinkSimulation, Rejection};
 use qlink_sim::workload::GeneratedRequest;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 /// A network-layer classical control message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -397,6 +399,20 @@ pub struct Network {
     timed_out: u64,
     outcomes: Vec<EndToEndOutcome>,
     trace: Option<Vec<TraceEntry>>,
+    /// The telemetry layer (see [`crate::obs`]): request-lifecycle
+    /// spans, histogram metrics, engine profiling. `None` (the
+    /// default) records nothing; recording is passive either way —
+    /// it draws nothing from any RNG and schedules no events, so a
+    /// telemetry-on run's *results* are bit-identical to the same
+    /// run with it off.
+    telemetry: Option<Box<Telemetry>>,
+    /// When set, [`Network::cancel_request`] retracts the cancelled
+    /// request's still-queued CREATEs through the classical expire
+    /// path (like a failed attempt does) instead of merely dropping
+    /// the bookkeeping. Off by default: the extra [`NetEvent::Expire`]
+    /// events change the event stream, and earlier PRs' runs must
+    /// reproduce exactly.
+    retract_on_cancel: bool,
     metric: Box<dyn RouteMetric + Send>,
     purify: PurifyPolicy,
     planner: Option<RoutePlanner>,
@@ -450,6 +466,9 @@ impl Network {
         let nodes = (0..topo.node_count())
             .map(|_| SwapAsapNode::new())
             .collect();
+        let trace_cfg = TelemetryConfig::from_env();
+        let telemetry =
+            (!trace_cfg.is_off()).then(|| Box::new(Telemetry::new(trace_cfg, links.len())));
         let mut net = Network {
             wake_gen: vec![0; links.len()],
             edge_load: vec![0; links.len()],
@@ -476,6 +495,8 @@ impl Network {
             timed_out: 0,
             outcomes: Vec::new(),
             trace: None,
+            telemetry,
+            retract_on_cancel: false,
             metric: Box::new(HopCount),
             purify: PurifyPolicy::Off,
             planner: None,
@@ -503,6 +524,41 @@ impl Network {
     /// called before running).
     pub fn trace(&self) -> &[TraceEntry] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Switches the telemetry layer (see [`crate::obs`]) on or off,
+    /// discarding anything recorded so far. [`TelemetryConfig::OFF`]
+    /// (the construction default, unless the `QLINK_TRACE` environment
+    /// variable opted in — [`TelemetryConfig::from_env`]) records
+    /// nothing. Recording is passive: whatever the config, the run's
+    /// outcomes, RNG draws, and event stream are unchanged, and
+    /// [`ExecMode::Sharded`] records the exact same spans and metrics
+    /// as [`ExecMode::Sequential`].
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry =
+            (!config.is_off()).then(|| Box::new(Telemetry::new(config, self.links.len())));
+    }
+
+    /// The telemetry recorded so far (`None` when the layer is off).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Opts cancellation into CREATE retraction: a
+    /// [`Network::cancel_request`] also sends expire notices (one
+    /// classical control delay out, exactly like a failed attempt's
+    /// retraction) for every CREATE of the request still queued inside
+    /// a link, so the links stop spending attempt cycles on pairs
+    /// nobody will consume. Off by default — the extra expire events
+    /// change the event stream, and runs that never enable the knob
+    /// reproduce earlier PRs bit-for-bit.
+    pub fn set_retract_on_cancel(&mut self, on: bool) {
+        self.retract_on_cancel = on;
+    }
+
+    /// Whether cancellation retracts queued CREATEs.
+    pub fn retract_on_cancel(&self) -> bool {
+        self.retract_on_cancel
     }
 
     /// Current global simulated time.
@@ -818,6 +874,13 @@ impl Network {
     pub fn request_entanglement_distilled(&mut self, src: usize, dst: usize, fmin: f64) -> u64 {
         let group = self.next_request;
         self.next_request += 1;
+        // The group id gets its own issue span: its Deliver (and thus
+        // the chrome-trace span close) is reported under the group id,
+        // while the member streams trace under their own ids.
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            let now = self.queue.now();
+            tl.emit(now, group, 0, SpanStage::Issue { src, dst, fmin });
+        }
         let members = self.request_entanglement_multipath(src, dst, fmin, 2);
         let members: [u64; 2] = [members[0], members[1]];
         let mut routes: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
@@ -906,6 +969,27 @@ impl Network {
         assert!(path.len() >= 2, "a path needs two ends");
         let path = path.to_vec();
         let edges = self.topo.path_edges(&path);
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            let now = self.queue.now();
+            if seed.attempt == 0 {
+                tl.emit(
+                    now,
+                    id,
+                    0,
+                    SpanStage::Issue {
+                        src: path[0],
+                        dst: *path.last().expect("a path has two ends"),
+                        fmin,
+                    },
+                );
+            }
+            tl.emit(
+                now,
+                id,
+                seed.attempt,
+                SpanStage::Plan { path: path.clone() },
+            );
+        }
         if edges.len() == 1 {
             self.short_requests += 1;
         }
@@ -1039,6 +1123,7 @@ impl Network {
     /// Runs the network for `duration` of global simulated time, on
     /// the engine selected by [`Network::set_exec`].
     pub fn run_for(&mut self, duration: SimDuration) {
+        let prof = self.profiling().then(Instant::now);
         let horizon = self.queue.now() + duration;
         match self.exec {
             ExecMode::Sequential => {
@@ -1049,12 +1134,14 @@ impl Network {
             ExecMode::Sharded(_) => self.run_windows(horizon, false),
         }
         self.account_elapsed(duration, horizon);
+        self.finish_profile(prof);
     }
 
     /// Runs until the next end-to-end outcome, or until `max_time` of
     /// additional simulated time passes. On timeout the request keeps
     /// running (cancel with [`Network::cancel_request`] if desired).
     pub fn run_until_outcome(&mut self, max_time: SimDuration) -> Option<EndToEndOutcome> {
+        let prof = self.profiling().then(Instant::now);
         let start = self.queue.now();
         let deadline = start + max_time;
         match self.exec {
@@ -1074,11 +1161,36 @@ impl Network {
         }
         let end = self.queue.now();
         self.account_elapsed(end.since(start), end);
+        self.finish_profile(prof);
         if self.outcomes.is_empty() {
             None
         } else {
             Some(self.outcomes.remove(0))
         }
+    }
+
+    /// `true` when the telemetry layer's profiling facet is on — the
+    /// only condition under which the run loops touch `Instant` at
+    /// all.
+    fn profiling(&self) -> bool {
+        self.telemetry.as_deref().is_some_and(Telemetry::profiling)
+    }
+
+    /// Closes out one run loop's profiling stopwatch and refreshes the
+    /// queue gauges (pure observation: nothing here feeds back into
+    /// the simulation).
+    fn finish_profile(&mut self, started: Option<Instant>) {
+        let Some(started) = started else { return };
+        let events = self.queue.events_fired();
+        let high_water = self.queue.depth_high_water();
+        let p = self
+            .telemetry
+            .as_deref_mut()
+            .expect("profiling implies telemetry")
+            .profile_mut();
+        p.wall_nanos += started.elapsed().as_nanos() as u64;
+        p.events_handled = events;
+        p.queue_depth_high_water = high_water;
     }
 
     // ---- conservative-lookahead windows (see crate::par) -------------
@@ -1120,16 +1232,35 @@ impl Network {
     /// like the sequential engine stopping mid-queue — the lookahead
     /// rule guarantees no link has run past the completion instant).
     fn run_windows(&mut self, horizon: SimTime, stop_on_outcome: bool) {
+        let profiling = self.profiling();
         loop {
             let h = self.safe_horizon(horizon);
             let threads = self.exec.threads();
             if self.pool.as_ref().map(ShardPool::threads) != Some(threads) {
                 self.pool = Some(ShardPool::new(threads));
             }
-            self.pool
-                .as_ref()
-                .expect("pool just built")
-                .run_window(&mut self.links, h);
+            let pool = self.pool.as_ref().expect("pool just built");
+            if profiling {
+                let started = Instant::now();
+                let timing = pool.run_window_timed(&mut self.links, h);
+                let window_nanos = started.elapsed().as_nanos() as u64;
+                let p = self
+                    .telemetry
+                    .as_deref_mut()
+                    .expect("profiling implies telemetry")
+                    .profile_mut();
+                p.windows += 1;
+                p.window_nanos += window_nanos;
+                p.coord_idle_nanos += timing.coord_idle_nanos;
+                if p.shard_busy_nanos.len() < timing.shard_busy_nanos.len() {
+                    p.shard_busy_nanos.resize(timing.shard_busy_nanos.len(), 0);
+                }
+                for (total, busy) in p.shard_busy_nanos.iter_mut().zip(&timing.shard_busy_nanos) {
+                    *total += busy;
+                }
+            } else {
+                pool.run_window(&mut self.links, h);
+            }
             while let Some((t, ev)) = self.queue.pop_until(h) {
                 self.handle(t, ev);
                 if stop_on_outcome && !self.outcomes.is_empty() {
@@ -1168,7 +1299,9 @@ impl Network {
             }
             return;
         }
+        let mut attempt = 0;
         if let Some(req) = self.requests.remove(&request) {
+            attempt = req.seed.attempt;
             if req.edges.len() == 1 {
                 self.short_requests -= 1;
             }
@@ -1183,7 +1316,14 @@ impl Network {
         // reservations (its failing attempt released them); dropping
         // the parked state is all a cancel needs.
         self.parked.remove(&request);
-        self.pending_creates.retain(|_, r| *r != request);
+        if self.retract_on_cancel {
+            // Opt-in (see `Network::set_retract_on_cancel`): expire the
+            // request's queued CREATEs inside the links, over the same
+            // classical retraction path a failed attempt uses.
+            self.retract_pending_creates(request, attempt);
+        } else {
+            self.pending_creates.retain(|_, r| *r != request);
+        }
     }
 
     // ---- internals ---------------------------------------------------
@@ -1283,6 +1423,9 @@ impl Network {
                     "retraction into a link that ran ahead of the lookahead bound"
                 );
                 self.links[edge].expire_request(side, create_id);
+                if let Some(tl) = self.telemetry.as_deref_mut() {
+                    tl.on_expire(edge);
+                }
                 self.schedule_wake(edge);
             }
         }
@@ -1308,6 +1451,7 @@ impl Network {
         };
         let edge_idx = req.edges[pos];
         let submitting_node = req.path[pos];
+        let attempt = req.seed.attempt;
         let side = self.topo.edge(edge_idx).side_of(submitting_node);
         let now = self.queue.now();
         // Align the link's clock with the global instant of submission.
@@ -1332,6 +1476,19 @@ impl Network {
         );
         self.pending_creates
             .insert((edge_idx, side, create_id), request);
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            tl.on_create(now, edge_idx, side, create_id);
+            tl.emit(
+                now,
+                request,
+                attempt,
+                SpanStage::Create {
+                    edge: edge_idx,
+                    side,
+                    create_id,
+                },
+            );
+        }
         self.schedule_wake(edge_idx);
     }
 
@@ -1388,16 +1545,21 @@ impl Network {
     /// reflects the links' true backlog. Keys are scheduled in sorted
     /// order — HashMap iteration order must never leak into the event
     /// stream.
-    fn retract_pending_creates(&mut self, request: u64) {
+    fn retract_pending_creates(&mut self, request: u64, attempt: u64) {
         let mut keys: Vec<(usize, usize, u16)> = self
             .pending_creates
             .iter()
             .filter_map(|(k, r)| (*r == request).then_some(*k))
             .collect();
         keys.sort_unstable();
+        let now = self.queue.now();
         for key in keys {
             self.pending_creates.remove(&key);
             let (edge, side, create_id) = key;
+            if let Some(tl) = self.telemetry.as_deref_mut() {
+                tl.on_retract(edge, side, create_id);
+                tl.emit(now, request, attempt, SpanStage::Retract { edge });
+            }
             let delay = self.topo.edge(edge).control_delay;
             self.schedule_cr(
                 delay,
@@ -1415,6 +1577,11 @@ impl Network {
         let Some(&request) = self.pending_creates.get(&key) else {
             return; // a purged or completed request's stray CREATE
         };
+        if r.is_unsupported() {
+            if let Some(tl) = self.telemetry.as_deref_mut() {
+                tl.on_unsupp(edge_idx);
+            }
+        }
         if !self
             .requests
             .get(&request)
@@ -1462,7 +1629,7 @@ impl Network {
         for &e in &req.edges {
             self.edge_load[e] -= 1;
         }
-        self.retract_pending_creates(request);
+        self.retract_pending_creates(request, req.seed.attempt);
 
         let mut excluded = req.seed.excluded;
         let implicated: &[usize] = match failed_edge {
@@ -1478,6 +1645,15 @@ impl Network {
         if req.seed.retries_left == 0 {
             self.timed_out += 1;
             self.record(t, TraceKind::Timeout(request));
+            if let Some(tl) = self.telemetry.as_deref_mut() {
+                tl.on_abandon();
+                tl.emit(
+                    t,
+                    request,
+                    req.seed.attempt,
+                    SpanStage::Abandon { failed_edge },
+                );
+            }
             if let Some(group) = req.seed.group {
                 self.abandon_group(group, request);
             }
@@ -1492,6 +1668,15 @@ impl Network {
         // that all timed out at the same instant.
         self.reroutes += 1;
         self.record(t, TraceKind::Reroute(request));
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            tl.on_reroute();
+            tl.emit(
+                t,
+                request,
+                req.seed.attempt,
+                SpanStage::Reroute { failed_edge },
+            );
+        }
         let base = self.topo.path_control_delay(&req.path).as_secs_f64();
         // One jitter draw per failure whatever the policy, so changing
         // the policy never shifts the `net/reroute` substream.
@@ -1595,6 +1780,20 @@ impl Network {
         self.pending_creates
             .remove(&(edge_idx, d.origin, d.create_id));
         self.record(t, TraceKind::Delivery(edge_idx));
+        if self.telemetry.is_some() {
+            let attempt = self.requests.get(&request).map_or(0, |r| r.seed.attempt);
+            let tl = self.telemetry.as_deref_mut().expect("just checked");
+            tl.on_add(t, edge_idx, d.origin, d.create_id);
+            tl.emit(
+                t,
+                request,
+                attempt,
+                SpanStage::Add {
+                    edge: edge_idx,
+                    fidelity: d.fidelity,
+                },
+            );
+        }
 
         let edge = self.topo.edge(edge_idx);
         let (a, b) = (edge.a, edge.b);
@@ -1698,6 +1897,12 @@ impl Network {
         let out = distill_werner(f1, f2);
         let accepted = self.purify_rng.bernoulli(out.success_probability);
         self.edge_purify_attempts[edge_idx] += 1;
+        if self.telemetry.is_some() {
+            let attempt = self.requests.get(&request).map_or(0, |r| r.seed.attempt);
+            let tl = self.telemetry.as_deref_mut().expect("just checked");
+            tl.on_purify(accepted);
+            tl.emit(t, request, attempt, SpanStage::Purify { edge: edge_idx });
+        }
         // Phase 3: on an agreeing parity the boosted pair replaces the
         // two inputs; on a reject both are lost.
         if accepted {
@@ -1746,6 +1951,15 @@ impl Network {
         accepted: bool,
         t: SimTime,
     ) {
+        if self.telemetry.is_some() {
+            let attempt = self.requests.get(&request).map_or(0, |r| r.seed.attempt);
+            self.telemetry.as_deref_mut().expect("just checked").emit(
+                t,
+                request,
+                attempt,
+                SpanStage::PurifyParity { edge, accepted },
+            );
+        }
         if let Some(action) = self.nodes[at].on_purify_result(request, edge, accepted) {
             self.apply_action(at, action, t);
         }
@@ -1772,6 +1986,15 @@ impl Network {
     /// and broadcasts the Bell-measurement outcome to both ends.
     fn do_swap(&mut self, node: usize, request: u64, t: SimTime) {
         self.record(t, TraceKind::Swap(node));
+        if self.telemetry.is_some() {
+            let attempt = self.requests.get(&request).map_or(0, |r| r.seed.attempt);
+            self.telemetry.as_deref_mut().expect("just checked").emit(
+                t,
+                request,
+                attempt,
+                SpanStage::Swap { node },
+            );
+        }
         let (src, dst, outcome) = {
             let Some(req) = self.requests.get_mut(&request) else {
                 return;
@@ -1861,6 +2084,15 @@ impl Network {
             self.forward_swap_result(request, at, target, z, x);
             return;
         }
+        if self.telemetry.is_some() {
+            let attempt = self.requests.get(&request).map_or(0, |r| r.seed.attempt);
+            self.telemetry.as_deref_mut().expect("just checked").emit(
+                t,
+                request,
+                attempt,
+                SpanStage::SwapResult { node: at },
+            );
+        }
         if let Some(action) = self.nodes[at].on_swap_result(request, z, x) {
             self.apply_action(at, action, t);
         }
@@ -1922,11 +2154,21 @@ impl Network {
             return;
         }
         let fidelity = bell_fidelity(&seg.state, (0, 1), BellState::PhiPlus);
+        let latency = t.since(req.seed.requested_at);
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            tl.on_complete(t, fidelity, latency);
+            tl.emit(
+                t,
+                request,
+                req.seed.attempt,
+                SpanStage::Deliver { fidelity, latency },
+            );
+        }
         self.outcomes.push(EndToEndOutcome {
             request,
             link_fidelities,
             end_to_end_fidelity: fidelity,
-            latency: t.since(req.seed.requested_at),
+            latency,
             delivered_at: t,
             swaps: req.swaps,
             frame_z: req.frame.0,
@@ -2002,6 +2244,9 @@ impl Network {
     /// disagreement discards both streams' pairs and regenerates both
     /// streams on their routes.
     fn on_group_result(&mut self, group: u64, accepted: bool, t: SimTime) {
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            tl.emit(t, group, 0, SpanStage::GroupParity { group, accepted });
+        }
         if !accepted {
             let Some(g) = self.groups.get_mut(&group) else {
                 return;
@@ -2039,11 +2284,16 @@ impl Network {
         kept.segment.decay_to(t);
         let fidelity = bell_fidelity(&kept.segment.state, (0, 1), BellState::PhiPlus);
         self.record(t, TraceKind::Complete(group));
+        let latency = t.since(g.requested_at);
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            tl.on_complete(t, fidelity, latency);
+            tl.emit(t, group, 0, SpanStage::Deliver { fidelity, latency });
+        }
         self.outcomes.push(EndToEndOutcome {
             request: group,
             link_fidelities: kept.link_fidelities,
             end_to_end_fidelity: fidelity,
-            latency: t.since(g.requested_at),
+            latency,
             delivered_at: t,
             swaps: g.swaps,
             frame_z: kept.frame.0,

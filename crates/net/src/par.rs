@@ -51,6 +51,7 @@ use qlink_des::SimTime;
 use qlink_sim::link::LinkSimulation;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// How a [`Network`](crate::network::Network) advances its links.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +127,12 @@ struct JobSlot {
     horizon: SimTime,
     links: *mut LinkSimulation,
     len: usize,
+    /// When set, each worker stopwatches its run-ahead and writes the
+    /// wall nanoseconds into `busy_nanos[shard]` (engine profiling —
+    /// see [`crate::obs`]). Off by default: profiling must cost zero
+    /// `Instant` calls when nobody asked for it.
+    timed: bool,
+    busy_nanos: Vec<u64>,
     shutdown: bool,
 }
 
@@ -163,6 +170,8 @@ impl ShardPool {
                 horizon: SimTime::ZERO,
                 links: std::ptr::null_mut(),
                 len: 0,
+                timed: false,
+                busy_nanos: Vec::new(),
                 shutdown: false,
             }),
             go: Condvar::new(),
@@ -193,6 +202,28 @@ impl ShardPool {
     /// until all shards finish). The coordinator processes shard 0
     /// itself, so `Sharded(1)` needs no handshake at all.
     pub(crate) fn run_window(&self, links: &mut [LinkSimulation], horizon: SimTime) {
+        self.run_window_inner(links, horizon, false);
+    }
+
+    /// [`ShardPool::run_window`] with per-shard wall-clock accounting
+    /// for the engine profiler. Timing is observation only — the work,
+    /// its order, and the handshake are identical to the untimed path,
+    /// so profiling can never perturb simulation results.
+    pub(crate) fn run_window_timed(
+        &self,
+        links: &mut [LinkSimulation],
+        horizon: SimTime,
+    ) -> WindowTiming {
+        self.run_window_inner(links, horizon, true)
+            .expect("timed window returns timing")
+    }
+
+    fn run_window_inner(
+        &self,
+        links: &mut [LinkSimulation],
+        horizon: SimTime,
+        timed: bool,
+    ) -> Option<WindowTiming> {
         let ptr = links.as_mut_ptr();
         let len = links.len();
         if self.threads > 1 {
@@ -202,30 +233,62 @@ impl ShardPool {
             slot.horizon = horizon;
             slot.links = ptr;
             slot.len = len;
+            slot.timed = timed;
+            if timed {
+                slot.busy_nanos.clear();
+                slot.busy_nanos.resize(self.threads, 0);
+            }
             drop(slot);
             self.shared.go.notify_all();
         }
         // Shard 0, driven through the same pointer the workers use so
         // no fresh slice borrow aliases their derived pointers.
+        let coord_start = timed.then(Instant::now);
         let mut i = 0;
         while i < len {
             // SAFETY: same disjoint-stride argument as `worker_loop`.
             unsafe { (*ptr.add(i)).run_ahead(horizon) };
             i += self.threads;
         }
+        let coord_busy = coord_start.map(|s| s.elapsed().as_nanos() as u64);
+        let mut timing = timed.then(|| WindowTiming {
+            shard_busy_nanos: vec![coord_busy.unwrap_or(0)],
+            coord_idle_nanos: 0,
+        });
         if self.threads > 1 {
+            let idle_start = timed.then(Instant::now);
             let mut slot = self.shared.job.lock().expect("shard worker panicked");
             while slot.completed < self.threads - 1 {
                 slot = self.shared.done.wait(slot).expect("shard worker panicked");
             }
+            if let (Some(timing), Some(idle)) = (timing.as_mut(), idle_start) {
+                timing.coord_idle_nanos = idle.elapsed().as_nanos() as u64;
+                timing
+                    .shard_busy_nanos
+                    .extend_from_slice(&slot.busy_nanos[1..]);
+            }
             // The lent pointer is dead once the window closes.
             slot.links = std::ptr::null_mut();
             slot.len = 0;
+            slot.timed = false;
             // Re-raise a worker-shard panic on the coordinator, now
             // that no thread holds the links anymore.
             assert!(!slot.poisoned, "a link shard panicked during run-ahead");
         }
+        timing
     }
+}
+
+/// Wall-clock account of one sharded window: how long each shard spent
+/// running links ahead (index 0 is the coordinator's own shard) and how
+/// long the coordinator sat in the completion barrier after finishing
+/// its shard. Large spreads in `shard_busy_nanos` mean the round-robin
+/// deal left the shards imbalanced; large `coord_idle_nanos` relative
+/// to busy time means the window horizon is too short to amortise the
+/// handshake.
+pub(crate) struct WindowTiming {
+    pub(crate) shard_busy_nanos: Vec<u64>,
+    pub(crate) coord_idle_nanos: u64,
 }
 
 impl Drop for ShardPool {
@@ -247,7 +310,7 @@ impl Drop for ShardPool {
 fn worker_loop(shared: &PoolShared, shard: usize, threads: usize) {
     let mut seen_epoch = 0;
     loop {
-        let (links, len, horizon) = {
+        let (links, len, horizon, timed) = {
             let mut slot = shared.job.lock().expect("coordinator panicked");
             while slot.epoch == seen_epoch && !slot.shutdown {
                 slot = shared.go.wait(slot).expect("coordinator panicked");
@@ -256,11 +319,12 @@ fn worker_loop(shared: &PoolShared, shard: usize, threads: usize) {
                 return;
             }
             seen_epoch = slot.epoch;
-            (slot.links, slot.len, slot.horizon)
+            (slot.links, slot.len, slot.horizon, slot.timed)
         };
         // A panicking link must not kill this thread before it reports
         // completion — the coordinator would wait on the barrier
         // forever. Catch, report, and let the coordinator re-raise.
+        let start = timed.then(Instant::now);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut i = shard;
             while i < len {
@@ -275,6 +339,9 @@ fn worker_loop(shared: &PoolShared, shard: usize, threads: usize) {
         let mut slot = shared.job.lock().expect("coordinator panicked");
         if result.is_err() {
             slot.poisoned = true;
+        }
+        if let Some(start) = start {
+            slot.busy_nanos[shard] = start.elapsed().as_nanos() as u64;
         }
         slot.completed += 1;
         if slot.completed == threads - 1 {
@@ -322,6 +389,25 @@ mod tests {
             assert!(link.events_fired() > 0);
             // …but none surfaced anything past the observation cursor.
             assert_eq!(link.next_event_time(), Some(SimTime::ZERO));
+        }
+    }
+
+    #[test]
+    fn timed_window_reports_every_shard() {
+        use qlink_sim::config::LinkConfig;
+        use qlink_sim::workload::WorkloadSpec;
+
+        let mut links: Vec<LinkSimulation> = (0..4)
+            .map(|i| LinkSimulation::new(LinkConfig::lab(WorkloadSpec::none(), 300 + i)))
+            .collect();
+        let pool = ShardPool::new(2);
+        let h = SimTime::ZERO + qlink_des::SimDuration::from_micros(100);
+        let timing = pool.run_window_timed(&mut links, h);
+        assert_eq!(timing.shard_busy_nanos.len(), 2);
+        // The same pool still serves untimed windows afterwards.
+        pool.run_window(&mut links, h + qlink_des::SimDuration::from_micros(100));
+        for link in &links {
+            assert!(link.events_fired() > 0);
         }
     }
 }

@@ -9,14 +9,16 @@
 //! results.
 
 use crate::network::Network;
+use crate::obs::{fidelity_histogram, latency_histogram};
 use crate::par::ExecMode;
 use crate::purify::PurifyPolicy;
 use crate::route::{FidelityProduct, HopCount, Latency, LoadScaledLatency};
 use crate::topology::Topology;
-use qlink_des::{DetRng, SimDuration};
+use qlink_des::{DetRng, Histogram, SimDuration, SimTime, TimeSeries};
 use qlink_math::stats::RunningStats;
 use qlink_sim::config::{LinkConfig, SchedulerChoice};
 use qlink_sim::workload::WorkloadSpec;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -354,6 +356,18 @@ pub struct RunRecord {
     pub reroutes: u64,
     /// Total events fired (shared queue + all links).
     pub events: u64,
+    /// Latency distribution of the delivered requests (seconds; the
+    /// standard [`latency_histogram`] layout, so per-seed histograms
+    /// merge exactly into [`ScenarioStats::latency_hist`]). Always
+    /// recorded — the histogram is a pure projection of the run's
+    /// deterministic outcomes, so it costs nothing in reproducibility.
+    pub latency_hist: Histogram,
+    /// Fidelity distribution of the delivered requests (the standard
+    /// [`fidelity_histogram`] layout).
+    pub fidelity_hist: Histogram,
+    /// One sample per delivered request at its delivery time — the
+    /// run's throughput-vs-time raw series.
+    pub deliveries: TimeSeries,
 }
 
 /// Merged per-scenario aggregate over all seeds.
@@ -381,6 +395,40 @@ pub struct ScenarioStats {
     pub reroutes: u64,
     /// Total events fired across runs.
     pub events: u64,
+    /// Exact bucket-merge of every run's latency histogram; read
+    /// percentiles off it via [`ScenarioStats::latency_percentiles`].
+    pub latency_hist: Histogram,
+    /// Exact bucket-merge of every run's fidelity histogram.
+    pub fidelity_hist: Histogram,
+    /// Every run's delivery series, time-merged
+    /// ([`TimeSeries::merge`] — runs share the t = 0 origin, so
+    /// per-seed series interleave) — the scenario's throughput-vs-time
+    /// raw data, re-binned by [`SweepReport::throughput_csv`].
+    pub deliveries: TimeSeries,
+}
+
+impl ScenarioStats {
+    /// `(p50, p90, p99)` end-to-end latency in seconds, read from the
+    /// merged histogram (each within one bucket width — 100 ms — of
+    /// the exact order statistic). Zeros when nothing delivered.
+    pub fn latency_percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.latency_hist.quantile(0.50),
+            self.latency_hist.quantile(0.90),
+            self.latency_hist.quantile(0.99),
+        )
+    }
+
+    /// `(p50, p90, p99)` delivered fidelity, read from the merged
+    /// histogram (each within one bucket width — 0.01 — of the exact
+    /// order statistic). Zeros when nothing delivered.
+    pub fn fidelity_percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.fidelity_hist.quantile(0.50),
+            self.fidelity_hist.quantile(0.90),
+            self.fidelity_hist.quantile(0.99),
+        )
+    }
 }
 
 /// The merged result of a sweep.
@@ -398,6 +446,59 @@ impl SweepReport {
     /// Total delivered requests across every scenario.
     pub fn total_successes(&self) -> u32 {
         self.scenarios.iter().map(|s| s.successes).sum()
+    }
+
+    /// Per-scenario latency and fidelity percentiles as CSV (one row
+    /// per scenario): `scenario, delivered, latency p50/p90/p99 in
+    /// seconds, fidelity p50/p90/p99`. Deterministic: a pure function
+    /// of the merged histograms.
+    pub fn percentile_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,delivered,latency_p50_s,latency_p90_s,latency_p99_s,\
+             fidelity_p50,fidelity_p90,fidelity_p99\n",
+        );
+        for s in &self.scenarios {
+            let (l50, l90, l99) = s.latency_percentiles();
+            let (f50, f90, f99) = s.fidelity_percentiles();
+            let _ = writeln!(
+                out,
+                "{},{},{l50:.6},{l90:.6},{l99:.6},{f50:.6},{f90:.6},{f99:.6}",
+                s.name, s.successes
+            );
+        }
+        out
+    }
+
+    /// Per-scenario throughput-vs-time as CSV: each scenario's merged
+    /// delivery series re-binned into windows of `width` (closed at
+    /// the last delivery, [`TimeSeries::binned`] semantics), one row
+    /// per window: `scenario, window start in seconds, deliveries in
+    /// the window, rate per second`. Scenarios with no deliveries get
+    /// a single zero row.
+    ///
+    /// # Panics
+    /// Panics on a zero `width`.
+    pub fn throughput_csv(&self, width: SimDuration) -> String {
+        let mut out = String::from("scenario,window_start_s,deliveries,rate_per_s\n");
+        let per_sec = 1.0 / width.as_secs_f64();
+        for s in &self.scenarios {
+            let end = s
+                .deliveries
+                .samples()
+                .last()
+                .map_or(SimTime::ZERO, |&(t, _)| t);
+            for bin in s.deliveries.binned(width, end) {
+                let _ = writeln!(
+                    out,
+                    "{},{:.6},{},{:.6}",
+                    s.name,
+                    bin.start.since(SimTime::ZERO).as_secs_f64(),
+                    bin.count,
+                    bin.count as f64 * per_sec
+                );
+            }
+        }
+        out
     }
 }
 
@@ -443,6 +544,9 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
         timeouts: 0,
         reroutes: 0,
         events: 0,
+        latency_hist: latency_histogram(),
+        fidelity_hist: fidelity_histogram(),
+        deliveries: TimeSeries::new(),
     };
     for _ in 0..spec.rounds {
         // A round's requests: explicit cross-traffic pairs when
@@ -484,6 +588,9 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
             record.successes += 1;
             record.fidelity.push(out.end_to_end_fidelity);
             record.latency_s.push(out.latency.as_secs_f64());
+            record.latency_hist.record(out.latency.as_secs_f64());
+            record.fidelity_hist.record(out.end_to_end_fidelity);
+            record.deliveries.push(out.delivered_at, 1.0);
             record.pairs_consumed += u64::from(out.pairs_consumed);
         }
         // Whatever did not make the budget timed out — whether the
@@ -579,6 +686,9 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 timeouts: 0,
                 reroutes: 0,
                 events: 0,
+                latency_hist: latency_histogram(),
+                fidelity_hist: fidelity_histogram(),
+                deliveries: TimeSeries::new(),
             };
             for run in runs.iter().filter(|r| r.scenario == si) {
                 stats.runs += 1;
@@ -590,6 +700,9 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 stats.timeouts += run.timeouts;
                 stats.reroutes += run.reroutes;
                 stats.events += run.events;
+                stats.latency_hist.merge(&run.latency_hist);
+                stats.fidelity_hist.merge(&run.fidelity_hist);
+                stats.deliveries.merge(&run.deliveries);
             }
             stats
         })
@@ -643,6 +756,32 @@ mod tests {
             assert_eq!(a.fidelity.mean().to_bits(), b.fidelity.mean().to_bits());
             assert_eq!(a.latency_s.mean().to_bits(), b.latency_s.mean().to_bits());
         }
+    }
+
+    #[test]
+    fn report_emits_percentiles_and_throughput_csv() {
+        let specs = vec![ScenarioSpec::lab_chain("1-hop", 2).with_rounds(3)];
+        let report = sweep(&specs, &[1, 2], 2);
+        let s = &report.scenarios[0];
+        assert!(s.successes > 0, "the 1-hop lab chain delivers");
+        assert_eq!(s.latency_hist.count(), u64::from(s.successes));
+        assert_eq!(s.fidelity_hist.count(), u64::from(s.successes));
+        assert_eq!(s.deliveries.len(), s.successes as usize);
+        let (p50, p90, p99) = s.latency_percentiles();
+        assert!(p50 <= p90 && p90 <= p99);
+        let pcsv = report.percentile_csv();
+        assert_eq!(pcsv.lines().count(), 2, "header + one scenario row");
+        assert!(pcsv.starts_with("scenario,delivered,latency_p50_s"));
+        assert!(pcsv.contains("1-hop,"));
+        let tcsv = report.throughput_csv(SimDuration::from_secs(1));
+        assert!(tcsv.starts_with("scenario,window_start_s,deliveries,rate_per_s"));
+        // Window counts re-add to the delivered total.
+        let total: u64 = tcsv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, u64::from(s.successes));
     }
 
     #[test]

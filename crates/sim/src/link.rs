@@ -107,6 +107,16 @@ pub struct Rejection {
     pub at: SimTime,
 }
 
+impl Rejection {
+    /// `true` when the link refused the request as unserveable
+    /// (UNSUPP: the FEU cannot reach the requested fidelity at all) —
+    /// the class the telemetry layer counts per edge, as opposed to
+    /// transient queue/deadline denials.
+    pub fn is_unsupported(&self) -> bool {
+        self.code == EgpErrorCode::Unsupported
+    }
+}
+
 /// A fully wired two-node link simulation.
 pub struct LinkSimulation {
     cfg: LinkConfig,
