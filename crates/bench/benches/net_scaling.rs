@@ -28,6 +28,12 @@
 //!   alongside. Run just this family with `cargo bench --bench
 //!   net_scaling -- par/`, and shrink the simulated horizon for smoke
 //!   runs with `QLINK_BENCH_SCALE` (e.g. `=0.1`).
+//! * `load/*` — the open-loop workload engine (`qlink::net::load`):
+//!   wall-clock of one sustained-arrival grid run at a moderate rate
+//!   (the full admit → serve → account path dominates) and at 100×
+//!   that rate (admission drops dominate — the per-arrival overhead
+//!   figure that bounds how far past the knee a capacity sweep can
+//!   push).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qlink::net::route::{FidelityProduct, HopCount, Latency, RoutePlanner};
@@ -271,9 +277,44 @@ fn bench_routing_overhead(c: &mut Criterion) {
     });
 }
 
+fn bench_open_loop_load(c: &mut Criterion) {
+    if !c.matches("load/") {
+        return;
+    }
+    let classes = || {
+        vec![
+            UserClass::new("qkd", RequestKind::Md, vec![(0, 1), (1, 2), (4, 5)])
+                .with_weight(3.0)
+                .with_priority(1)
+                .with_admission(AdmissionControl::QueueBeyond {
+                    max_in_flight: 2,
+                    queue_cap: 16,
+                }),
+            UserClass::new("compute", RequestKind::Ck, vec![(8, 9), (12, 13)])
+                .with_admission(AdmissionControl::RejectBeyond { max_in_flight: 2 }),
+        ]
+    };
+    for (name, rate_hz) in [("rate2k", 2_000.0), ("rate200k", 200_000.0)] {
+        let spec = ScenarioSpec::lab_grid("load", 4, 4)
+            .with_metric(MetricChoice::LoadLatency)
+            .with_retries(1)
+            .with_request_timeout(SimDuration::from_millis(250))
+            .with_max_time(SimDuration::from_secs_f64(0.2))
+            .with_exec(ExecChoice::Sequential)
+            .with_workload(Workload::poisson(rate_hz, classes()));
+        c.bench_function(&format!("load/grid4x4_{name}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_one(black_box(&spec), seed))
+            })
+        });
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_chain_scaling, bench_routing_overhead, bench_purify_policies, bench_congested_mesh, bench_sweep_throughput, bench_par_engine
+    targets = bench_chain_scaling, bench_routing_overhead, bench_purify_policies, bench_congested_mesh, bench_sweep_throughput, bench_par_engine, bench_open_loop_load
 }
 criterion_main!(benches);

@@ -56,11 +56,20 @@
 //!   `QLINK_EXEC` environment variable);
 //! * [`chain`] — the repeater-chain convenience wrapper (successor of
 //!   the deprecated `qlink_sim::chain::RepeaterChain`);
+//! * [`load`](mod@load) — the open-loop workload engine: deterministic
+//!   Poisson or trace-driven arrival streams over per-application user
+//!   classes (CK/MD kind, priority, fmin, latency/fidelity SLO
+//!   targets), admission control (reject or queue beyond an in-flight
+//!   bound) with exact offered/admitted/dropped/completed/abandoned
+//!   accounting — arrivals are first-class shared-queue events, so
+//!   open-loop runs stay bit-identical across [`ExecMode`]s
+//!   ([`Network::set_workload`]);
 //! * [`sweep`](mod@sweep) — the parallel scenario-sweep driver: a scenario × seed
 //!   matrix fanned across OS threads with deterministic merged
 //!   aggregates.
 
 pub mod chain;
+pub mod load;
 pub mod network;
 pub mod node;
 pub mod obs;
@@ -71,6 +80,10 @@ pub mod sweep;
 pub mod topology;
 
 pub use chain::RepeaterChain;
+pub use load::{
+    AdmissionControl, ArrivalProcess, ClassLoadStats, LoadStats, SloTarget, TraceArrival,
+    UserClass, Workload,
+};
 pub use network::{BackoffPolicy, EndToEndOutcome, Network, TraceEntry, TraceKind};
 pub use node::{NodeAction, PathRole, SwapAsapNode};
 pub use obs::{

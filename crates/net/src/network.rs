@@ -44,6 +44,7 @@
 //! to off, in which case no timeout events exist and no re-route
 //! randomness is drawn: earlier PRs' runs reproduce bit-for-bit.
 
+use crate::load::{Admission, ArrivalProcess, LoadEngine, LoadStats, Workload};
 use crate::node::{NodeAction, PathRole, SwapAsapNode};
 use crate::obs::{SpanStage, Telemetry, TelemetryConfig};
 use crate::par::{ExecMode, ShardPool};
@@ -111,6 +112,21 @@ enum NetEvent {
         side: usize,
         create_id: u16,
     },
+    /// Open-loop workload arrival number `index` (see [`crate::load`]):
+    /// resolve its class and pair, run admission control, and schedule
+    /// the next arrival. Scheduled one-ahead through
+    /// [`Network::schedule_cr`], so pending arrivals bound the
+    /// parallel engine's safe horizon exactly like pending control
+    /// messages.
+    Arrival { index: u64 },
+    /// A freed admission slot's control-plane notice: drain the
+    /// workload's waiting queues, admitting as many arrivals as
+    /// capacity allows at this instant. Scheduled one classical
+    /// control delay after the completion / abandon that freed the
+    /// slot — both the physical picture (the coordinator has to learn
+    /// the slot freed) and what keeps admission submit-safe when the
+    /// freeing event was not itself at a lookahead boundary.
+    AdmitQueued,
 }
 
 /// What kind of activity a trace entry records.
@@ -387,6 +403,14 @@ pub struct Network {
     rng: DetRng,
     purify_rng: DetRng,
     reroute_rng: DetRng,
+    /// Workload arrival randomness (gaps, class picks, pair picks) —
+    /// its own substream, drawn only while a workload is armed, so
+    /// closed-loop runs never touch it and reproduce earlier PRs
+    /// bit-for-bit.
+    load_rng: DetRng,
+    /// The armed open-loop workload engine (see [`crate::load`]),
+    /// `None` unless [`Network::set_workload`] armed one.
+    workload: Option<Box<LoadEngine>>,
     requests: HashMap<u64, PathRequest>,
     groups: HashMap<u64, PairGroup>,
     parked: HashMap<u64, ParkedReroute>,
@@ -483,6 +507,11 @@ impl Network {
             // Re-route decisions draw from their own substream so
             // runs without retries reproduce earlier PRs bit-for-bit.
             reroute_rng: DetRng::new(seed).substream("net/reroute"),
+            // Substream derivation is pure in (seed, label): creating
+            // it here perturbs nothing, and no draw ever leaves it
+            // unless a workload arms.
+            load_rng: DetRng::new(seed).substream("net/load"),
+            workload: None,
             requests: HashMap::new(),
             groups: HashMap::new(),
             parked: HashMap::new(),
@@ -684,6 +713,106 @@ impl Network {
     /// The execution engine in force.
     pub fn exec(&self) -> ExecMode {
         self.exec
+    }
+
+    /// Arms an open-loop workload (see [`crate::load`]): arrivals are
+    /// scheduled as first-class events on the shared queue, one
+    /// ahead, each resolving its user class and `(src, dst)` pair,
+    /// running admission control, and issuing an entanglement request
+    /// under the network's current routing / purification / retry
+    /// knobs. Every workload draw comes from the dedicated `net/load`
+    /// substream on the coordinating thread, so the arrival stream —
+    /// and everything downstream of it — is bit-identical across
+    /// [`ExecMode::Sequential`] and [`ExecMode::Sharded`], and runs
+    /// that never arm a workload draw nothing from it at all.
+    ///
+    /// Workload-tracked completions are folded straight into
+    /// [`Network::workload_stats`] and **not** pushed onto the
+    /// [`Network::take_outcomes`] buffer — a sustained run offers
+    /// millions of arrivals, and per-outcome records would grow
+    /// without bound. Drive workload runs with [`Network::run_for`]
+    /// and read the accounting afterwards.
+    ///
+    /// # Panics
+    /// Panics on an empty class list, a non-positive Poisson rate or
+    /// class weight, an unsorted trace, an out-of-range class or node
+    /// index, a `src == dst` pair, a disconnected pair, or a Poisson
+    /// class with an empty pair pool.
+    pub fn set_workload(&mut self, workload: Workload) {
+        assert!(
+            !workload.classes.is_empty(),
+            "a workload needs at least one user class"
+        );
+        let nodes = self.topo.node_count();
+        let check_pair = |(src, dst): (usize, usize)| {
+            assert!(
+                src < nodes && dst < nodes,
+                "pair ({src}, {dst}) off-topology"
+            );
+            assert!(src != dst, "pair ({src}, {dst}) needs two distinct ends");
+            assert!(
+                self.topo.shortest_path(src, dst).is_some(),
+                "no path from {src} to {dst}"
+            );
+        };
+        for class in &workload.classes {
+            assert!(
+                class.weight > 0.0 && class.weight.is_finite(),
+                "class {:?} needs a positive weight",
+                class.name
+            );
+            for &pair in &class.pairs {
+                check_pair(pair);
+            }
+        }
+        match &workload.arrivals {
+            ArrivalProcess::Poisson { rate_hz } => {
+                assert!(
+                    *rate_hz > 0.0 && rate_hz.is_finite(),
+                    "Poisson arrivals need a positive rate"
+                );
+                for class in &workload.classes {
+                    assert!(
+                        !class.pairs.is_empty(),
+                        "Poisson class {:?} needs a pair pool",
+                        class.name
+                    );
+                }
+            }
+            ArrivalProcess::Trace { arrivals } => {
+                for pair in arrivals.windows(2) {
+                    assert!(
+                        pair[0].after <= pair[1].after,
+                        "trace arrivals must be sorted by time"
+                    );
+                }
+                for a in arrivals.iter() {
+                    assert!(
+                        a.class < workload.classes.len(),
+                        "trace arrival names class {} of {}",
+                        a.class,
+                        workload.classes.len()
+                    );
+                    check_pair(a.pair);
+                }
+            }
+        }
+        let engine = Box::new(LoadEngine::new(workload));
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            tl.on_workload_armed(engine.spec().classes.len());
+        }
+        if let Some(delay) = engine.first_arrival_delay(&mut self.load_rng) {
+            self.schedule_cr(delay, NetEvent::Arrival { index: 0 });
+        }
+        self.workload = Some(engine);
+    }
+
+    /// The armed workload's accounting so far (`None` unless
+    /// [`Network::set_workload`] armed one). Counters and histograms
+    /// are live: reading mid-run sees the state as of the last handled
+    /// event.
+    pub fn workload_stats(&self) -> Option<&LoadStats> {
+        self.workload.as_deref().map(LoadEngine::stats)
     }
 
     /// Attempts re-planned and re-issued after a failure, in total.
@@ -1293,6 +1422,7 @@ impl Network {
     /// [`Network::request_entanglement_distilled`] cancels both of the
     /// group's streams and drops any parked pair.
     pub fn cancel_request(&mut self, request: u64) {
+        self.workload_abandon(request);
         if let Some(group) = self.groups.remove(&request) {
             for member in group.members {
                 self.cancel_request(member);
@@ -1428,7 +1558,116 @@ impl Network {
                 }
                 self.schedule_wake(edge);
             }
+            NetEvent::Arrival { index } => {
+                let fired = self.cr_pending.pop();
+                debug_assert_eq!(fired, Some(Reverse(t)), "arrival tracking out of sync");
+                self.on_arrival(index, t);
+            }
+            NetEvent::AdmitQueued => {
+                let fired = self.cr_pending.pop();
+                debug_assert_eq!(fired, Some(Reverse(t)), "admission tracking out of sync");
+                self.on_admit_queued(t);
+            }
         }
+    }
+
+    // ---- open-loop workload glue (see crate::load) -------------------
+
+    /// Handles workload arrival `index` at its firing instant: resolve
+    /// class and pair (counting it offered), schedule the next arrival
+    /// one gap ahead, and run admission control. Arrival events are
+    /// control-class ([`Network::schedule_cr`]), so issuing at this
+    /// instant is always inside the parallel engine's safe horizon.
+    fn on_arrival(&mut self, index: u64, t: SimTime) {
+        let Some(mut wl) = self.workload.take() else {
+            return; // workload cleared with an arrival in flight
+        };
+        let (class, pair) = wl.resolve_arrival(index, &mut self.load_rng);
+        if let Some(gap) = wl.gap_after(index, &mut self.load_rng) {
+            self.schedule_cr(gap, NetEvent::Arrival { index: index + 1 });
+        }
+        match wl.admit_decision(class) {
+            Admission::Admit => {
+                let fmin = wl.class(class).fmin;
+                let id = self.request_entanglement(pair.0, pair.1, fmin);
+                wl.register(id, class, t, t);
+                if let Some(tl) = self.telemetry.as_deref_mut() {
+                    tl.on_admit(class, 0.0);
+                }
+            }
+            Admission::Queue => wl.enqueue(class, t, pair),
+            Admission::Drop => {
+                wl.drop_arrival(class);
+                if let Some(tl) = self.telemetry.as_deref_mut() {
+                    tl.on_admission_drop(class);
+                }
+            }
+        }
+        self.workload = Some(wl);
+    }
+
+    /// Drains the workload's waiting queues: admit arrivals —
+    /// highest-priority class first, FIFO within a class — until no
+    /// waiting arrival has a free slot.
+    fn on_admit_queued(&mut self, t: SimTime) {
+        let Some(mut wl) = self.workload.take() else {
+            return;
+        };
+        while let Some(q) = wl.pop_admittable() {
+            let fmin = wl.class(q.class).fmin;
+            let id = self.request_entanglement(q.pair.0, q.pair.1, fmin);
+            wl.register(id, q.class, q.arrived_at, t);
+            if let Some(tl) = self.telemetry.as_deref_mut() {
+                tl.on_admit(q.class, t.since(q.arrived_at).as_secs_f64());
+            }
+        }
+        self.workload = Some(wl);
+    }
+
+    /// A workload-tracked request delivered: fold it into the class
+    /// accounting and, if arrivals are waiting, schedule a queue
+    /// drain one control delay out (the slot-freed notice has to
+    /// reach the admission plane — and a completion or abandon can
+    /// fire at instants where links have already run ahead, so the
+    /// drain must go through a control-class event of its own).
+    /// No-op for untracked (legacy closed-loop) requests.
+    fn workload_complete(&mut self, request: u64, fidelity: f64, t: SimTime) {
+        let Some(wl) = self.workload.as_deref_mut() else {
+            return;
+        };
+        let Some(done) = wl.complete(request, fidelity, t) else {
+            return;
+        };
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            tl.on_class_complete(done.class, done.latency.as_secs_f64());
+        }
+        self.schedule_admit_drain();
+    }
+
+    /// A workload-tracked request was abandoned (retry budget
+    /// exhausted, no route left, or cancelled): count it and free its
+    /// slot. No-op for untracked requests.
+    fn workload_abandon(&mut self, request: u64) {
+        let Some(wl) = self.workload.as_deref_mut() else {
+            return;
+        };
+        if wl.abandon(request).is_none() {
+            return;
+        }
+        self.schedule_admit_drain();
+    }
+
+    fn schedule_admit_drain(&mut self) {
+        if self.workload.as_deref().is_some_and(LoadEngine::has_queued) {
+            self.schedule_cr(self.min_control_delay, NetEvent::AdmitQueued);
+        }
+    }
+
+    /// `true` when `request` is tracked by the armed workload (its
+    /// completion feeds [`Network::workload_stats`] instead of the
+    /// outcome buffer).
+    fn workload_tracks(&self, request: u64) -> bool {
+        self.workload.as_deref().is_some_and(|w| w.tracks(request))
     }
 
     /// Issues every NL CREATE path edge position `pos` of `request`
@@ -1656,6 +1895,8 @@ impl Network {
             }
             if let Some(group) = req.seed.group {
                 self.abandon_group(group, request);
+            } else {
+                self.workload_abandon(request);
             }
             return;
         }
@@ -1740,6 +1981,8 @@ impl Network {
             self.timed_out += 1;
             if let Some(group) = p.seed.group {
                 self.abandon_group(group, request);
+            } else {
+                self.workload_abandon(request);
             }
             return;
         };
@@ -1763,6 +2006,10 @@ impl Network {
         let Some(g) = self.groups.remove(&group) else {
             return;
         };
+        // The group id is the public handle a workload tracks; member
+        // streams were never registered, so their cancels below are
+        // workload no-ops.
+        self.workload_abandon(group);
         for member in g.members {
             if member != failed_member {
                 self.cancel_request(member);
@@ -2164,6 +2411,13 @@ impl Network {
                 SpanStage::Deliver { fidelity, latency },
             );
         }
+        if self.workload_tracks(request) {
+            // Workload completions feed the class accounting directly;
+            // buffering an outcome per delivery would grow without
+            // bound over a million-arrival run.
+            self.workload_complete(request, fidelity, t);
+            return;
+        }
         self.outcomes.push(EndToEndOutcome {
             request,
             link_fidelities,
@@ -2288,6 +2542,12 @@ impl Network {
         if let Some(tl) = self.telemetry.as_deref_mut() {
             tl.on_complete(t, fidelity, latency);
             tl.emit(t, group, 0, SpanStage::Deliver { fidelity, latency });
+        }
+        if self.workload_tracks(group) {
+            // As in `finalize`: workload-tracked groups skip the
+            // outcome buffer.
+            self.workload_complete(group, fidelity, t);
+            return;
         }
         self.outcomes.push(EndToEndOutcome {
             request: group,

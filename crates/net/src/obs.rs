@@ -290,6 +290,15 @@ pub struct Metrics {
     /// re-bin with [`TimeSeries::rate_per_second`] for the
     /// throughput-vs-time series.
     pub deliveries: TimeSeries,
+    /// Open-loop workload only: arrivals rejected by admission
+    /// control, per user class. Empty until a workload arms.
+    pub class_drops: Vec<u64>,
+    /// Open-loop workload only: end-to-end latency per user class
+    /// (same axis as [`Metrics::latency`]).
+    pub class_latency: Vec<Histogram>,
+    /// Open-loop workload only: admission queue wait per user class
+    /// (zero for arrivals admitted on the spot).
+    pub class_queue_wait: Vec<Histogram>,
 }
 
 impl Metrics {
@@ -308,6 +317,9 @@ impl Metrics {
             fidelity: fidelity_histogram(),
             queue_wait: latency_histogram(),
             deliveries: TimeSeries::new(),
+            class_drops: Vec::new(),
+            class_latency: Vec::new(),
+            class_queue_wait: Vec::new(),
         }
     }
 }
@@ -510,6 +522,35 @@ impl Telemetry {
             self.metrics.latency.record(latency.as_secs_f64());
             self.metrics.fidelity.record(fidelity);
             self.metrics.deliveries.push(at, 1.0);
+        }
+    }
+
+    /// An open-loop workload armed with `classes` user classes: size
+    /// the per-class vectors so the class-indexed hooks below can
+    /// record unconditionally.
+    pub(crate) fn on_workload_armed(&mut self, classes: usize) {
+        if self.config.metrics {
+            self.metrics.class_drops = vec![0; classes];
+            self.metrics.class_latency = vec![latency_histogram(); classes];
+            self.metrics.class_queue_wait = vec![latency_histogram(); classes];
+        }
+    }
+
+    pub(crate) fn on_admission_drop(&mut self, class: usize) {
+        if self.config.metrics {
+            self.metrics.class_drops[class] += 1;
+        }
+    }
+
+    pub(crate) fn on_admit(&mut self, class: usize, wait_s: f64) {
+        if self.config.metrics {
+            self.metrics.class_queue_wait[class].record(wait_s);
+        }
+    }
+
+    pub(crate) fn on_class_complete(&mut self, class: usize, latency_s: f64) {
+        if self.config.metrics {
+            self.metrics.class_latency[class].record(latency_s);
         }
     }
 }

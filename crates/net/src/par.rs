@@ -25,7 +25,14 @@
 //!   be submitted to any link before
 //!   `min(earliest pending control/re-issue, earliest pending event + d_min)`.
 //!   That bound is the window horizon; see
-//!   `Network::safe_horizon` (crates/net/src/network.rs).
+//!   `Network::safe_horizon` (crates/net/src/network.rs). Open-loop
+//!   workload arrivals ([`crate::load`](mod@crate::load)) join the
+//!   same contract: each `Arrival` event (which submits the admitted
+//!   request's CREATEs at its own firing instant) and each
+//!   `AdmitQueued` queue-drain event is pre-announced in the pending
+//!   control set, so sustained arrival streams bound the horizon
+//!   exactly like control responses and stay bit-identical across
+//!   exec modes.
 //!
 //! * **Barriers.** Each window, the coordinator releases the workers
 //!   to run every link ahead to the horizon

@@ -8,6 +8,7 @@
 //! thread count — parallelism changes wall-clock time only, never
 //! results.
 
+use crate::load::{ClassLoadStats, Workload};
 use crate::network::Network;
 use crate::obs::{fidelity_histogram, latency_histogram};
 use crate::par::ExecMode;
@@ -182,6 +183,15 @@ pub struct ScenarioSpec {
     /// Execution engine per run (see [`ExecChoice`]; results are
     /// bit-identical across all choices).
     pub exec: ExecChoice,
+    /// Open-loop workload driving the run instead of the closed-loop
+    /// round machinery. `None` (the default) keeps the classic
+    /// behaviour — and draws nothing from the arrival substream, so
+    /// legacy specs reproduce earlier PRs' results bit-for-bit. Set,
+    /// the run arms [`Network::set_workload`] and advances the clock
+    /// once for [`ScenarioSpec::max_time`] of sustained arrivals;
+    /// `rounds`, `streams`, `pairs`, and `fmin` are ignored (each
+    /// [`crate::load::UserClass`] carries its own pairs and fmin).
+    pub workload: Option<Workload>,
 }
 
 impl ScenarioSpec {
@@ -207,6 +217,7 @@ impl ScenarioSpec {
             retries: 0,
             request_timeout: None,
             exec: ExecChoice::Auto,
+            workload: None,
         }
     }
 
@@ -225,6 +236,17 @@ impl ScenarioSpec {
     }
 
     /// Builder: rounds per run.
+    ///
+    /// Clamps to at least one round: a zero-round run would measure
+    /// nothing, so `with_rounds(0)` silently becomes `1` rather than
+    /// producing an empty record.
+    ///
+    /// ```
+    /// use qlink_net::sweep::ScenarioSpec;
+    ///
+    /// assert_eq!(ScenarioSpec::lab_chain("r", 2).with_rounds(0).rounds, 1);
+    /// assert_eq!(ScenarioSpec::lab_chain("r", 2).with_rounds(7).rounds, 7);
+    /// ```
     pub fn with_rounds(mut self, rounds: u32) -> Self {
         self.rounds = rounds.max(1);
         self
@@ -243,6 +265,17 @@ impl ScenarioSpec {
     }
 
     /// Builder: concurrent same-pair streams per round.
+    ///
+    /// Clamps to at least one stream — a round with zero streams could
+    /// never deliver, so `with_streams(0)` silently becomes `1` (the
+    /// same guard the run driver applies to hand-built specs).
+    ///
+    /// ```
+    /// use qlink_net::sweep::ScenarioSpec;
+    ///
+    /// assert_eq!(ScenarioSpec::lab_chain("s", 2).with_streams(0).streams, 1);
+    /// assert_eq!(ScenarioSpec::lab_chain("s", 2).with_streams(3).streams, 3);
+    /// ```
     pub fn with_streams(mut self, streams: u32) -> Self {
         self.streams = streams.max(1);
         self
@@ -288,6 +321,14 @@ impl ScenarioSpec {
     /// intra-topology parallelism by topology size).
     pub fn with_exec(mut self, exec: ExecChoice) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Builder: drive the run open-loop with a sustained arrival
+    /// workload instead of closed-loop rounds (see
+    /// [`ScenarioSpec::workload`]).
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
         self
     }
 
@@ -368,6 +409,16 @@ pub struct RunRecord {
     /// One sample per delivered request at its delivery time — the
     /// run's throughput-vs-time raw series.
     pub deliveries: TimeSeries,
+    /// Open-loop runs only: per-class workload accounting, in workload
+    /// class order (empty for closed-loop runs). The scalar fields
+    /// above are projected from it — `rounds` is total admitted,
+    /// `successes` total completed, `timeouts` total abandoned — so
+    /// legacy report consumers keep working.
+    pub classes: Vec<ClassLoadStats>,
+    /// Open-loop runs only: simulated seconds of sustained arrivals
+    /// (the spec's `max_time`; 0 for closed-loop runs). Offered and
+    /// carried *rates* divide by this.
+    pub open_loop_secs: f64,
 }
 
 /// Merged per-scenario aggregate over all seeds.
@@ -405,6 +456,14 @@ pub struct ScenarioStats {
     /// per-seed series interleave) — the scenario's throughput-vs-time
     /// raw data, re-binned by [`SweepReport::throughput_csv`].
     pub deliveries: TimeSeries,
+    /// Open-loop scenarios only: exact per-class merge of every run's
+    /// workload accounting ([`ClassLoadStats::merge`]; empty for
+    /// closed-loop scenarios).
+    pub classes: Vec<ClassLoadStats>,
+    /// Open-loop scenarios only: total simulated seconds of sustained
+    /// arrivals across runs (the denominator for offered/carried rates
+    /// in [`SweepReport::service_csv`]).
+    pub open_loop_secs: f64,
 }
 
 impl ScenarioStats {
@@ -465,6 +524,52 @@ impl SweepReport {
                 "{},{},{l50:.6},{l90:.6},{l99:.6},{f50:.6},{f90:.6},{f99:.6}",
                 s.name, s.successes
             );
+        }
+        out
+    }
+
+    /// Per-class open-loop service report as CSV, one row per
+    /// (scenario, class): exact offered/admitted/dropped/completed/
+    /// abandoned/queued/in-flight counts, offered and carried load in
+    /// requests per simulated second, SLO-attainment fractions, and
+    /// latency p50/p90/p99 plus queue-wait p99 read off the merged
+    /// class histograms. Closed-loop scenarios (no workload) emit no
+    /// rows. Deterministic: a pure function of the merged accounting.
+    pub fn service_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,class,offered,admitted,dropped,completed,abandoned,queued,in_flight,\
+             offered_per_s,carried_per_s,slo_latency,slo_fidelity,\
+             latency_p50_s,latency_p90_s,latency_p99_s,queue_wait_p99_s\n",
+        );
+        for s in &self.scenarios {
+            let per_sec = if s.open_loop_secs > 0.0 {
+                1.0 / s.open_loop_secs
+            } else {
+                0.0
+            };
+            for c in &s.classes {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.4},{:.4},{:.6},{:.6},{:.6},{:.6}",
+                    s.name,
+                    c.name,
+                    c.offered,
+                    c.admitted,
+                    c.dropped,
+                    c.completed,
+                    c.abandoned,
+                    c.queued,
+                    c.in_flight,
+                    c.offered as f64 * per_sec,
+                    c.completed as f64 * per_sec,
+                    c.slo_latency_attainment(),
+                    c.slo_fidelity_attainment(),
+                    c.latency.quantile(0.50),
+                    c.latency.quantile(0.90),
+                    c.latency.quantile(0.99),
+                    c.queue_wait.quantile(0.99),
+                );
+            }
         }
         out
     }
@@ -547,7 +652,37 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
         latency_hist: latency_histogram(),
         fidelity_hist: fidelity_histogram(),
         deliveries: TimeSeries::new(),
+        classes: Vec::new(),
+        open_loop_secs: 0.0,
     };
+    if let Some(workload) = &spec.workload {
+        // Open-loop: arm the sustained arrival stream and advance the
+        // clock once for the whole budget — the workload engine issues
+        // and accounts every request itself.
+        net.set_workload(workload.clone());
+        net.run_for(spec.max_time);
+        let stats = net.workload_stats().expect("workload armed above");
+        record.classes = stats.classes.clone();
+        record.open_loop_secs = spec.max_time.as_secs_f64();
+        // Project the per-class accounting onto the legacy scalar
+        // fields so closed-loop report consumers keep working.
+        record.rounds = u32::try_from(stats.total_admitted()).unwrap_or(u32::MAX);
+        record.successes = u32::try_from(stats.total_completed()).unwrap_or(u32::MAX);
+        record.timeouts = {
+            let abandoned: u64 = stats.classes.iter().map(|c| c.abandoned).sum();
+            u32::try_from(abandoned).unwrap_or(u32::MAX)
+        };
+        for c in &stats.classes {
+            record.latency_hist.merge(&c.latency);
+            record.fidelity_hist.merge(&c.fidelity);
+        }
+        record.pairs_consumed = (0..net.topology().edge_count())
+            .map(|e| net.pairs_delivered(e))
+            .sum();
+        record.reroutes = net.reroutes();
+        record.events = net.events_fired();
+        return record;
+    }
     for _ in 0..spec.rounds {
         // A round's requests: explicit cross-traffic pairs when
         // given, else `streams` same-pair requests 0 → last. Under
@@ -689,6 +824,8 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 latency_hist: latency_histogram(),
                 fidelity_hist: fidelity_histogram(),
                 deliveries: TimeSeries::new(),
+                classes: Vec::new(),
+                open_loop_secs: 0.0,
             };
             for run in runs.iter().filter(|r| r.scenario == si) {
                 stats.runs += 1;
@@ -703,6 +840,14 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 stats.latency_hist.merge(&run.latency_hist);
                 stats.fidelity_hist.merge(&run.fidelity_hist);
                 stats.deliveries.merge(&run.deliveries);
+                stats.open_loop_secs += run.open_loop_secs;
+                if stats.classes.is_empty() {
+                    stats.classes = run.classes.clone();
+                } else {
+                    for (agg, c) in stats.classes.iter_mut().zip(&run.classes) {
+                        agg.merge(c);
+                    }
+                }
             }
             stats
         })

@@ -84,6 +84,10 @@ pub use qlink_wire as wire;
 pub mod prelude {
     pub use crate::des::{DetRng, SimDuration, SimTime};
     pub use crate::net::chain::RepeaterChain;
+    pub use crate::net::load::{
+        AdmissionControl, ArrivalProcess, ClassLoadStats, LoadStats, SloTarget, TraceArrival,
+        UserClass, Workload,
+    };
     pub use crate::net::network::{BackoffPolicy, EndToEndOutcome, Network};
     pub use crate::net::par::ExecMode;
     pub use crate::net::purify::PurifyPolicy;
