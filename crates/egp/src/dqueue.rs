@@ -309,6 +309,11 @@ impl DistributedQueue {
     /// Drives retransmission timers; call once per MHP cycle (or less
     /// often — timing uses the supplied cycle).
     pub fn tick(&mut self, cycle: u64) -> Vec<DqpEvent> {
+        // Called every MHP cycle; with nothing awaiting an ACK there is
+        // nothing to retransmit or time out.
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
         let mut events = Vec::new();
         let due: Vec<u8> = self
             .pending

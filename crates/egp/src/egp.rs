@@ -548,18 +548,15 @@ impl Egp {
         }
 
         // Scheduler: pick among ready requests (identical at both
-        // nodes: all inputs are synchronized queue fields).
-        let ready: Vec<&QueueEntry> = self
+        // nodes: all inputs are synchronized queue fields). The ready
+        // set streams straight into the policy — this runs every MHP
+        // cycle, so it must not allocate.
+        let requests = &self.requests;
+        let ready = self
             .dq
             .iter()
-            .filter(|e| {
-                self.requests
-                    .get(&e.aid)
-                    .map(|r| r.is_ready(cycle))
-                    .unwrap_or(false)
-            })
-            .collect();
-        let Some(aid) = self.cfg.scheduler.select(ready.into_iter()) else {
+            .filter(|e| requests.get(&e.aid).is_some_and(|r| r.is_ready(cycle)));
+        let Some(aid) = self.cfg.scheduler.select(ready) else {
             return (None, events);
         };
         let req = self
@@ -1066,6 +1063,11 @@ impl Egp {
     }
 
     fn purge_timed_out(&mut self, cycle: u64, events: &mut Vec<EgpEvent>) {
+        // Runs every MHP cycle; skip the two map walks below outright
+        // on the (common) idle cycle.
+        if self.requests.is_empty() {
+            return;
+        }
         // Forget completed requests once their linger period passed.
         let linger = self.cfg.completed_linger_cycles;
         let forgotten: Vec<AbsQueueId> = self
@@ -1208,6 +1210,10 @@ impl Egp {
     }
 
     fn process_dq_events(&mut self, dq_events: Vec<DqpEvent>, cycle: u64) -> Vec<EgpEvent> {
+        // Per-cycle call, almost always with nothing to process.
+        if dq_events.is_empty() {
+            return Vec::new();
+        }
         let mut events = Vec::new();
         for ev in dq_events {
             match ev {

@@ -1,0 +1,191 @@
+//! The lookahead bound for control / re-issue events.
+//!
+//! The parallel engine's window horizon (see [`crate::par`]) must never
+//! pass the earliest pending event that can submit CREATEs at its own
+//! firing time. [`CrBound`] shadows exactly those events: the network
+//! pushes a firing time per scheduled control-class event, reports each
+//! firing back, and — new in this revision — *cancels* entries whose
+//! event became a no-op (a re-issue whose request was cancelled while
+//! parked). Cancellation uses lazy-deletion tombstones: the entry stays
+//! in the heap but stops pinning the horizon, and is reclaimed when it
+//! reaches the top or when its hollowed-out event fires, whichever
+//! comes first. Every mutation purges dead tops, so [`CrBound::peek`]
+//! is exact (and `&self`): the minimum it reports is always a live
+//! entry.
+//!
+//! Firings are *asserted*, not assumed: [`CrBound::fired`] checks (in
+//! debug builds) that the entry popped for an event matches the event's
+//! own firing time, so any future desynchronisation between the shadow
+//! bound and the real queue fails loudly instead of silently shrinking
+//! or inflating the safe horizon.
+
+use qlink_des::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Shadow min-tracker for pending control / re-issue firing times, with
+/// lazy-deletion cancellation. See the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct CrBound {
+    /// Min-heap of pending firing times (live and tombstoned alike).
+    heap: BinaryHeap<Reverse<SimTime>>,
+    /// Cancelled-entry count per firing time, for entries still in the
+    /// heap. An entry matching a tombstone is dead: it no longer bounds
+    /// the horizon and is dropped as soon as it surfaces.
+    tombstones: HashMap<SimTime, u32>,
+}
+
+impl CrBound {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a control-class event scheduled to fire at `t`.
+    pub fn push(&mut self, t: SimTime) {
+        self.heap.push(Reverse(t));
+    }
+
+    /// The earliest pending *live* firing time.
+    pub fn peek(&self) -> Option<SimTime> {
+        // Dead tops are purged on every mutation, so the raw top is live.
+        self.heap.peek().map(|&Reverse(t)| t)
+    }
+
+    /// Marks one pending entry at `t` as cancelled: its event will
+    /// still fire (as a no-op), but it no longer bounds the horizon.
+    pub fn cancel(&mut self, t: SimTime) {
+        debug_assert!(
+            self.heap.iter().any(|&Reverse(h)| h == t),
+            "cancelling a bound entry that was never pushed: {t:?}"
+        );
+        *self.tombstones.entry(t).or_insert(0) += 1;
+        self.purge_dead_tops();
+    }
+
+    /// A live control-class event fired at `t`: pops its entry.
+    ///
+    /// Debug builds assert the popped entry matches the event's firing
+    /// time exactly — the bound and the event queue marching in
+    /// lockstep is what makes the safe horizon safe.
+    pub fn fired(&mut self, t: SimTime) {
+        debug_assert_eq!(
+            self.heap.peek(),
+            Some(&Reverse(t)),
+            "lookahead bound out of sync with a firing control event"
+        );
+        self.heap.pop();
+        self.purge_dead_tops();
+    }
+
+    /// The hollowed-out event of a *cancelled* entry fired at `t`:
+    /// reclaims the entry/tombstone pair if the purge has not already.
+    pub fn fired_cancelled(&mut self, t: SimTime) {
+        if let Some(count) = self.tombstones.get_mut(&t) {
+            // Its entry is still heap-resident — and at the top, since
+            // every earlier entry's event has already fired.
+            debug_assert_eq!(
+                self.heap.peek(),
+                Some(&Reverse(t)),
+                "cancelled-entry bound out of sync at its firing time"
+            );
+            self.heap.pop();
+            *count -= 1;
+            if *count == 0 {
+                self.tombstones.remove(&t);
+            }
+            self.purge_dead_tops();
+        }
+    }
+
+    /// Drops tombstoned entries as long as they hold the top, so `peek`
+    /// always reports a live minimum.
+    fn purge_dead_tops(&mut self) {
+        while let Some(&Reverse(t)) = self.heap.peek() {
+            match self.tombstones.get_mut(&t) {
+                Some(count) => {
+                    self.heap.pop();
+                    *count -= 1;
+                    if *count == 0 {
+                        self.tombstones.remove(&t);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlink_des::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn peek_tracks_minimum() {
+        let mut b = CrBound::new();
+        assert_eq!(b.peek(), None);
+        b.push(t(30));
+        b.push(t(10));
+        b.push(t(20));
+        assert_eq!(b.peek(), Some(t(10)));
+        b.fired(t(10));
+        assert_eq!(b.peek(), Some(t(20)));
+    }
+
+    #[test]
+    fn cancelled_entry_stops_pinning_the_horizon() {
+        let mut b = CrBound::new();
+        b.push(t(10));
+        b.push(t(20));
+        b.cancel(t(10));
+        // The dead minimum no longer bounds: peek skips straight to 20.
+        assert_eq!(b.peek(), Some(t(20)));
+        // Its no-op event still fires; the pair is already reclaimed.
+        b.fired_cancelled(t(10));
+        assert_eq!(b.peek(), Some(t(20)));
+        b.fired(t(20));
+        assert_eq!(b.peek(), None);
+    }
+
+    #[test]
+    fn cancel_behind_a_live_entry_reclaims_at_firing() {
+        let mut b = CrBound::new();
+        b.push(t(10));
+        b.push(t(20));
+        b.cancel(t(20));
+        assert_eq!(b.peek(), Some(t(10)));
+        b.fired(t(10));
+        // fired()'s purge dropped the dead 20-entry the moment it
+        // surfaced; the hollow firing at 20 is then a no-op.
+        assert_eq!(b.peek(), None);
+        b.fired_cancelled(t(20));
+        assert_eq!(b.peek(), None);
+    }
+
+    #[test]
+    fn tie_between_live_and_cancelled_at_same_instant() {
+        let mut b = CrBound::new();
+        b.push(t(5));
+        b.push(t(5));
+        b.cancel(t(5));
+        // One live entry remains: the horizon still stops at 5.
+        assert_eq!(b.peek(), Some(t(5)));
+        // The two events fire in either order; both pairs reconcile.
+        b.fired(t(5));
+        b.fired_cancelled(t(5));
+        assert_eq!(b.peek(), None);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of sync")]
+    fn desynchronised_firing_asserts() {
+        let mut b = CrBound::new();
+        b.push(t(10));
+        b.fired(t(11));
+    }
+}

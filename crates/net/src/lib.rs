@@ -68,6 +68,7 @@
 //!   matrix fanned across OS threads with deterministic merged
 //!   aggregates.
 
+mod bound;
 pub mod chain;
 pub mod load;
 pub mod network;

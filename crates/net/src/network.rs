@@ -44,6 +44,7 @@
 //! to off, in which case no timeout events exist and no re-route
 //! randomness is drawn: earlier PRs' runs reproduce bit-for-bit.
 
+use crate::bound::CrBound;
 use crate::load::{Admission, ArrivalProcess, LoadEngine, LoadStats, Workload};
 use crate::node::{NodeAction, PathRole, SwapAsapNode};
 use crate::obs::{SpanStage, Telemetry, TelemetryConfig};
@@ -59,8 +60,7 @@ use qlink_quantum::{channels, gates, QuantumState};
 use qlink_sim::config::RequestKind;
 use qlink_sim::link::{Delivery, LinkSimulation, Rejection};
 use qlink_sim::workload::GeneratedRequest;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// A network-layer classical control message.
@@ -279,6 +279,9 @@ struct ParkedReroute {
     fmin: f64,
     link_purify: bool,
     seed: AttemptSeed,
+    /// When the pending [`NetEvent::Reissue`] fires — the lookahead
+    /// bound entry to tombstone if the request is cancelled first.
+    reissue_at: SimTime,
 }
 
 /// The retry/identity state an attempt is issued under — carried
@@ -451,8 +454,10 @@ pub struct Network {
     /// events that may submit CREATEs to links at their own firing
     /// instant. Their minimum bounds the parallel engine's window
     /// horizon; kept in sync by [`Network::schedule_cr`] and
-    /// [`Network::handle`].
-    cr_pending: BinaryHeap<Reverse<SimTime>>,
+    /// [`Network::handle`] (each firing is popped *asserted* against
+    /// the event's own time), with cancelled re-issues tombstoned via
+    /// [`CrBound::cancel`] so they stop pinning the horizon.
+    cr_pending: CrBound,
     /// In-flight requests whose path is a single edge. Such requests
     /// complete at a link *delivery* (no swap-result round trip), so
     /// while any exist the parallel engine caps its lookahead at the
@@ -531,7 +536,7 @@ impl Network {
             planner: None,
             exec: ExecMode::from_env(),
             pool: None,
-            cr_pending: BinaryHeap::new(),
+            cr_pending: CrBound::new(),
             short_requests: 0,
             min_control_delay: topo.min_control_delay(),
             elapsed: SimDuration::ZERO,
@@ -614,6 +619,19 @@ impl Network {
     /// internal events.
     pub fn events_fired(&self) -> u64 {
         self.queue.events_fired() + self.links.iter().map(|l| l.events_fired()).sum::<u64>()
+    }
+
+    /// Restarts the event-count statistics ([`Network::events_fired`],
+    /// the profiler's queue-depth high-water gauge) across the shared
+    /// queue and every link, without touching any simulation state —
+    /// see [`qlink_des::EventQueue::reset_stats`]. The sweep driver
+    /// calls this at the run boundary so a run's recorded event count
+    /// never includes another phase's.
+    pub fn reset_event_stats(&mut self) {
+        self.queue.reset_stats();
+        for link in &mut self.links {
+            link.reset_event_stats();
+        }
     }
 
     /// Selects the [`RouteMetric`] used by subsequent
@@ -1339,7 +1357,7 @@ impl Network {
     /// (the caller may submit at the completion instant).
     fn safe_horizon(&self, cap: SimTime) -> SimTime {
         let mut h = cap;
-        if let Some(&Reverse(t)) = self.cr_pending.peek() {
+        if let Some(t) = self.cr_pending.peek() {
             h = h.min(t);
         }
         if let Some(t) = self.queue.peek_time() {
@@ -1406,7 +1424,7 @@ impl Network {
     /// submit CREATEs at its own firing time — keeping the pending
     /// minimum the window lookahead depends on in sync.
     fn schedule_cr(&mut self, delay: SimDuration, ev: NetEvent) {
-        self.cr_pending.push(Reverse(self.queue.now() + delay));
+        self.cr_pending.push(self.queue.now() + delay);
         self.queue.schedule_in(delay, ev);
     }
 
@@ -1443,9 +1461,14 @@ impl Network {
             }
         }
         // A stream parked between failure and re-issue holds no
-        // reservations (its failing attempt released them); dropping
-        // the parked state is all a cancel needs.
-        self.parked.remove(&request);
+        // reservations (its failing attempt released them). Dropping
+        // the parked state makes the pending Reissue a no-op, so its
+        // lookahead-bound entry must stop pinning the safe horizon:
+        // tombstone it (lazy deletion — the hollow event still fires
+        // and reclaims the pair if the purge has not already).
+        if let Some(p) = self.parked.remove(&request) {
+            self.cr_pending.cancel(p.reissue_at);
+        }
         if self.retract_on_cancel {
             // Opt-in (see `Network::set_retract_on_cancel`): expire the
             // request's queued CREATEs inside the links, over the same
@@ -1505,8 +1528,7 @@ impl Network {
                 self.schedule_wake(link);
             }
             NetEvent::Control { at, msg } => {
-                let fired = self.cr_pending.pop();
-                debug_assert_eq!(fired, Some(Reverse(t)), "control tracking out of sync");
+                self.cr_pending.fired(t);
                 self.record(t, TraceKind::Control(at));
                 match msg {
                     ControlMsg::Reserve { request } => self.on_reserve(request, at),
@@ -1534,17 +1556,22 @@ impl Network {
                 self.on_request_timeout(request, attempt, t);
             }
             NetEvent::Reissue { request } => {
-                let fired = self.cr_pending.pop();
-                debug_assert_eq!(fired, Some(Reverse(t)), "re-issue tracking out of sync");
-                self.on_reissue(request, t);
+                if self.parked.contains_key(&request) {
+                    self.cr_pending.fired(t);
+                    self.on_reissue(request, t);
+                } else {
+                    // Cancelled while parked: the bound entry was
+                    // tombstoned at cancel time; reclaim the hollow
+                    // firing if the lazy purge has not already.
+                    self.cr_pending.fired_cancelled(t);
+                }
             }
             NetEvent::Expire {
                 edge,
                 side,
                 create_id,
             } => {
-                let fired = self.cr_pending.pop();
-                debug_assert_eq!(fired, Some(Reverse(t)), "expire tracking out of sync");
+                self.cr_pending.fired(t);
                 self.links[edge].advance_to(t);
                 // Same lookahead contract as `submit_nl`.
                 debug_assert_eq!(
@@ -1559,13 +1586,11 @@ impl Network {
                 self.schedule_wake(edge);
             }
             NetEvent::Arrival { index } => {
-                let fired = self.cr_pending.pop();
-                debug_assert_eq!(fired, Some(Reverse(t)), "arrival tracking out of sync");
+                self.cr_pending.fired(t);
                 self.on_arrival(index, t);
             }
             NetEvent::AdmitQueued => {
-                let fired = self.cr_pending.pop();
-                debug_assert_eq!(fired, Some(Reverse(t)), "admission tracking out of sync");
+                self.cr_pending.fired(t);
                 self.on_admit_queued(t);
             }
         }
@@ -1942,6 +1967,7 @@ impl Network {
                     attempt: req.seed.attempt + 1,
                     ..req.seed
                 },
+                reissue_at: self.queue.now() + backoff,
             },
         );
         self.schedule_cr(backoff, NetEvent::Reissue { request });

@@ -636,6 +636,11 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
     net.set_purify_policy(spec.purify);
     net.set_retry_budget(spec.retries);
     net.set_request_timeout(spec.request_timeout);
+    // Event statistics start at the run boundary: construction
+    // pre-schedules wakes and link cycles, and a queue reused across
+    // runs keeps its counters through `clear()` (see
+    // `EventQueue::reset_stats`), so `record.events` must re-base here.
+    net.reset_event_stats();
     let dst = spec.node_count() - 1;
     let streams = spec.streams.max(1);
     let mut record = RunRecord {

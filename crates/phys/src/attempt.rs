@@ -257,8 +257,11 @@ impl AttemptModel {
             .conditional_state(outcome)
             .expect("sampling bits for a failed attempt");
         let mut s = state.clone();
-        let true_a = s.measure_qubit(0, basis_a, rng.raw());
-        let true_b = s.measure_qubit(1, basis_b, rng.raw());
+        // One batched draw for both projective measurements — the same
+        // stream as two sequential draws, hoisted out of the collapses.
+        let [u_a, u_b] = rng.uniform_batch();
+        let true_a = s.measure_qubit_given(0, basis_a, u_a);
+        let true_b = s.measure_qubit_given(1, basis_b, u_b);
         (
             self.noisy_readout(true_a, rng),
             self.noisy_readout(true_b, rng),

@@ -268,6 +268,14 @@ impl QuantumState {
         targets: &[usize],
         rng: &mut R,
     ) -> usize {
+        self.measure_kraus_given(kraus, targets, rng.gen::<f64>())
+    }
+
+    /// [`QuantumState::measure_kraus`] with the uniform draw `u` in
+    /// `[0, 1)` supplied by the caller — lets hot paths batch their
+    /// randomness (e.g. `DetRng::uniform_batch` in `qlink-des`) without
+    /// changing which outcome any given draw selects.
+    pub fn measure_kraus_given(&mut self, kraus: &[CMatrix], targets: &[usize], u: f64) -> usize {
         let fulls: Vec<CMatrix> = kraus
             .iter()
             .map(|k| self.expand_operator(k, targets))
@@ -281,7 +289,7 @@ impl QuantumState {
             (total - 1.0).abs() < 1e-6,
             "measurement probabilities sum to {total}, not 1"
         );
-        let mut draw = rng.gen::<f64>() * total;
+        let mut draw = u * total;
         let mut outcome = probs.len() - 1;
         for (i, &p) in probs.iter().enumerate() {
             if draw < p {
@@ -305,6 +313,13 @@ impl QuantumState {
     ) -> u8 {
         let (p0, p1) = basis.projectors();
         self.measure_kraus(&[p0, p1], &[qubit], rng) as u8
+    }
+
+    /// [`QuantumState::measure_qubit`] with the uniform draw supplied
+    /// by the caller (see [`QuantumState::measure_kraus_given`]).
+    pub fn measure_qubit_given(&mut self, qubit: usize, basis: Basis, u: f64) -> u8 {
+        let (p0, p1) = basis.projectors();
+        self.measure_kraus_given(&[p0, p1], &[qubit], u) as u8
     }
 
     /// Expectation value `Tr(Oρ)` of a Hermitian observable `O` acting

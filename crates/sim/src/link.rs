@@ -239,6 +239,13 @@ impl LinkSimulation {
         self.queue.events_fired()
     }
 
+    /// Restarts the event-count statistics (see
+    /// [`EventQueue::reset_stats`]); the simulation state and clock are
+    /// untouched.
+    pub fn reset_event_stats(&mut self) {
+        self.queue.reset_stats();
+    }
+
     /// Borrow a node's EGP (0 = A, 1 = B) for inspection.
     pub fn egp(&self, node: usize) -> &Egp {
         &self.egps[node]

@@ -158,6 +158,13 @@ pub struct WorkloadGenerator {
     spec: WorkloadSpec,
     /// `psucc/E` per kind, fixed at setup from the FEU's α choice.
     rate_scale: [f64; 3],
+    /// Kinds with a positive offered load, in [`RequestKind::ALL`]
+    /// order, precomputed so the per-cycle sampler is a single branch
+    /// when the workload is empty (manually driven links call it every
+    /// MHP cycle) and touches only live kinds otherwise. Disabled kinds
+    /// never drew randomness, so the RNG stream is unchanged.
+    active: [(RequestKind, usize); 3],
+    active_n: usize,
     rng: DetRng,
 }
 
@@ -165,9 +172,19 @@ impl WorkloadGenerator {
     /// Creates a generator. `psucc_over_e` maps each kind to
     /// `psucc(α_kind)/E_kind` (computed by the harness from the FEU).
     pub fn new(spec: WorkloadSpec, psucc_over_e: [f64; 3], rng: DetRng) -> Self {
+        let mut active = [(RequestKind::Nl, 0); 3];
+        let mut active_n = 0;
+        for (i, kind) in RequestKind::ALL.iter().enumerate() {
+            if spec.kind_load(*kind).fraction > 0.0 {
+                active[active_n] = (*kind, i);
+                active_n += 1;
+            }
+        }
         WorkloadGenerator {
             spec,
             rate_scale: psucc_over_e,
+            active,
+            active_n,
             rng,
         }
     }
@@ -179,13 +196,18 @@ impl WorkloadGenerator {
 
     /// Samples this cycle's arrivals (0 or more — each kind draws
     /// independently, as in the paper's per-kind issue probability).
+    #[inline]
     pub fn sample_cycle(&mut self) -> Vec<GeneratedRequest> {
+        if self.active_n == 0 {
+            return Vec::new();
+        }
+        self.sample_active()
+    }
+
+    fn sample_active(&mut self) -> Vec<GeneratedRequest> {
         let mut out = Vec::new();
-        for (i, kind) in RequestKind::ALL.iter().enumerate() {
-            let load = self.spec.kind_load(*kind);
-            if load.fraction <= 0.0 {
-                continue;
-            }
+        for &(kind, i) in &self.active[..self.active_n] {
+            let load = self.spec.kind_load(kind);
             // k uniform in 1..=kmax (or fixed), issue with f·psucc/(E·k).
             let k = if load.fixed_pairs {
                 load.kmax
@@ -200,7 +222,7 @@ impl WorkloadGenerator {
                     OriginPolicy::Random => self.rng.below(2) as usize,
                 };
                 out.push(GeneratedRequest {
-                    kind: *kind,
+                    kind,
                     pairs: k,
                     origin,
                     fmin: load.fmin,

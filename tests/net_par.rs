@@ -183,6 +183,144 @@ fn random_graphs_property_sharded_reproduces_sequential() {
     }
 }
 
+/// Fingerprint of a run that cancels requests mid-flight, after the
+/// first failed attempt has parked for re-issue: the cancel tombstones
+/// the parked stream's lookahead-bound entry (see `net::bound`), and
+/// the hollow `Reissue` event still fires through both engines.
+fn run_cancel_network(seed: u64, exec: ExecMode) -> Vec<(u64, u64, u64, u64)> {
+    // A 4×4 lab grid with every control delay stretched to 2 ms, so a
+    // failed attempt's re-issue backoff (floored at the failed path's
+    // one-way control delay, ≥ 3 hops × 2 ms) dwarfs the 1 ms probe
+    // step below.
+    let mut topo = Topology::grid(4, 4, |i| lab(4000 + i as u64));
+    for e in 0..topo.edge_count() {
+        topo.set_control_delay(e, SimDuration::from_millis(2));
+    }
+    let mut net = Network::new(topo, seed);
+    net.set_exec(exec);
+    // With ≥ 12 ms of round-trip control latency on corner paths, a
+    // 25 ms timeout guarantees failed attempts under contention.
+    net.set_request_timeout(Some(SimDuration::from_millis(25)));
+    net.set_retry_budget(3);
+    let reqs: Vec<u64> = [(0, 15), (3, 12), (5, 10), (6, 9)]
+        .iter()
+        .map(|&(a, b)| net.request_entanglement(a, b, 0.45))
+        .collect();
+    // Probe forward in 1 ms steps until a failed attempt parks
+    // (`reroutes` ticks exactly at park time). Its Reissue then sits a
+    // full backoff (≥ 6 ms) past the park instant, i.e. strictly
+    // beyond this probe step's boundary — so the cancel below is
+    // guaranteed to catch a *parked* stream, exercising the
+    // tombstone path rather than plain cancellation.
+    let mut steps = 0u64;
+    let parked = loop {
+        if steps == 200 {
+            break false;
+        }
+        net.run_for(SimDuration::from_millis(1));
+        steps += 1;
+        if net.reroutes() > 0 {
+            break true;
+        }
+    };
+    assert!(parked, "scenario never parked a failed stream");
+    for &r in &reqs {
+        net.cancel_request(r);
+    }
+    // The tombstoned Reissue events fire hollow; the cancelled
+    // requests' stale timeouts fire too. Everything must reconcile
+    // identically in both engines.
+    net.run_for(SimDuration::from_millis(60));
+    vec![(
+        net.reroutes(),
+        net.timeouts(),
+        net.events_fired(),
+        (steps << 32) | net.take_outcomes().len() as u64,
+    )]
+}
+
+/// The lookahead-bound bookkeeping regression test: cancelling a
+/// request *while it is parked between failure and re-issue* must
+/// leave `Sharded(n)` bit-identical to `Sequential`. (Before the
+/// tombstone fix the cancelled entry either pinned the horizon forever
+/// or desynchronised the blind pops — both diverge here.)
+#[test]
+fn cancel_while_parked_is_engine_equivalent() {
+    for seed in [1, 5] {
+        let seq = run_cancel_network(seed, ExecMode::Sequential);
+        for n in [2, 4] {
+            let sh = run_cancel_network(seed, ExecMode::Sharded(n));
+            assert_eq!(
+                seq, sh,
+                "cancel-while-parked: Sharded({n}) diverged at seed {seed}"
+            );
+        }
+    }
+}
+
+/// A lab-grade link polled at 10 ms instead of 10.12 µs: same physics
+/// per attempt, ~1000× fewer idle MHP poll events — what makes a
+/// 160-second simulated span affordable in a test.
+fn slow_lab(seed: u64) -> LinkConfig {
+    let mut cfg = lab(seed);
+    cfg.scenario.mhp_cycle = SimDuration::from_millis(10);
+    cfg
+}
+
+/// Far-future events — request timeouts armed beyond the timing
+/// wheel's ~140 s span (2^47 ps) — land in the wheel's overflow level
+/// and must cascade back in and fire across the sharded engine's
+/// window boundaries exactly as they do sequentially.
+fn run_overflow_network(seed: u64, exec: ExecMode) -> Vec<(u64, u64, u64, u64)> {
+    let topo = Topology::chain(3, |i| slow_lab(7000 + i as u64));
+    let mut net = Network::new(topo, seed);
+    net.set_exec(exec);
+    net.set_retry_budget(0);
+    // Two requests whose timeouts sit ~2.5 simulated minutes out: both
+    // `RequestTimeout` events go straight to the overflow level. The
+    // requests complete tens of seconds in (the stale timeouts then
+    // fire as no-ops), so the overflow cells stay pending across the
+    // thousands of windows the links' polling turns underneath, and
+    // each finally surfaces from overflow mid-window at 145 s / 150 s.
+    net.set_request_timeout(Some(SimDuration::from_secs(150)));
+    net.request_entanglement(0, 2, 0.5);
+    net.run_for(SimDuration::from_millis(5));
+    net.set_request_timeout(Some(SimDuration::from_secs(145)));
+    net.request_entanglement(0, 2, 0.5);
+    net.run_for(SimDuration::from_secs(160));
+    let mut out: Vec<(u64, u64, u64, u64)> = net
+        .take_outcomes()
+        .iter()
+        .map(|o| {
+            (
+                o.request,
+                o.end_to_end_fidelity.to_bits(),
+                o.latency.as_ps(),
+                o.delivered_at.as_ps(),
+            )
+        })
+        .collect();
+    out.push((net.timeouts(), net.reroutes(), net.events_fired(), 0));
+    out
+}
+
+#[test]
+fn wheel_overflow_straddles_window_boundaries() {
+    let seed = 4;
+    let seq = run_overflow_network(seed, ExecMode::Sequential);
+    // Both requests complete (before their timeouts — the stale
+    // `RequestTimeout` events then fire out of overflow as no-ops; the
+    // 160 s drain horizon guarantees both fired).
+    assert_eq!(seq.len(), 3, "both requests must complete");
+    for n in [2, 4] {
+        let sh = run_overflow_network(seed, ExecMode::Sharded(n));
+        assert_eq!(
+            seq, sh,
+            "overflow straddle: Sharded({n}) diverged at seed {seed}"
+        );
+    }
+}
+
 /// The sweep driver's hybrid scheduler never changes results: a grid
 /// sweep with more threads than jobs (spare threads sharding within
 /// runs) merges to the same report as the all-sequential layout.

@@ -47,6 +47,16 @@ impl Criterion {
     pub fn matches(&self, name: &str) -> bool {
         self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
+
+    /// Whether a benchmark *family* passes the filter: true when the
+    /// filter names the family itself (`par/`) or an individual bench
+    /// inside it (`par/grid_8x8`) — groups gate their setup on this and
+    /// then [`Criterion::matches`] each full name inside the group.
+    pub fn matches_prefix(&self, family: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|f| family.contains(f) || f.starts_with(family))
+    }
     /// Number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(2);
