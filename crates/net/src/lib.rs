@@ -66,10 +66,20 @@
 //!   ([`Network::set_workload`]);
 //! * [`sweep`](mod@sweep) — the parallel scenario-sweep driver: a scenario × seed
 //!   matrix fanned across OS threads with deterministic merged
-//!   aggregates.
+//!   aggregates;
+//! * [`fault`](mod@fault) — deterministic fault injection: a
+//!   [`FaultPlan`] of scheduled and seeded-stochastic link
+//!   fail/repair and node-churn events riding the shared queue as
+//!   control-class events (bit-identical across [`ExecMode`]s),
+//!   heterogeneous repair profiles (a degraded edge can come back
+//!   worse than it left), and the network-wide **penalty box** — an
+//!   exponentially time-decaying per-edge surcharge bumped on every
+//!   failure and UNSUPP and priced into all planning through
+//!   [`PlanContext::penalties`] ([`Network::set_fault_plan`]).
 
 mod bound;
 pub mod chain;
+pub mod fault;
 pub mod load;
 pub mod network;
 pub mod node;
@@ -81,6 +91,7 @@ pub mod sweep;
 pub mod topology;
 
 pub use chain::RepeaterChain;
+pub use fault::{FaultKind, FaultPlan, FaultSpec, Flapping, PenaltyBox, PenaltyConfig};
 pub use load::{
     AdmissionControl, ArrivalProcess, ClassLoadStats, LoadStats, SloTarget, TraceArrival,
     UserClass, Workload,
@@ -98,7 +109,7 @@ pub use route::{
     RouteMetric, RoutePlanner,
 };
 pub use sweep::{
-    run_one, sweep, ExecChoice, LinkScenario, MetricChoice, RunRecord, ScenarioSpec, ScenarioStats,
-    SweepReport, TopologyChoice,
+    run_one, sweep, ExecChoice, FaultChoice, LinkScenario, MetricChoice, RunRecord, ScenarioSpec,
+    ScenarioStats, SweepReport, TopologyChoice,
 };
 pub use topology::{Edge, Node, Topology};

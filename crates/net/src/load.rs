@@ -327,8 +327,13 @@ impl ClassLoadStats {
         }
     }
 
-    /// Fraction of completions that met the latency SLO (0 when
-    /// nothing completed).
+    /// Fraction of completions that met the latency SLO.
+    ///
+    /// A class that completed nothing reports **0.0** — never the
+    /// NaN of a bare `0/0` — so report consumers (CSV emitters,
+    /// comparisons, sort keys) need no special case; pinned by
+    /// `zero_completion_class_reports_zero_attainment_not_nan` in
+    /// `tests/net_faults.rs`.
     pub fn slo_latency_attainment(&self) -> f64 {
         if self.completed == 0 {
             0.0
@@ -337,8 +342,9 @@ impl ClassLoadStats {
         }
     }
 
-    /// Fraction of completions that met the fidelity SLO (0 when
-    /// nothing completed).
+    /// Fraction of completions that met the fidelity SLO (0.0 — not
+    /// NaN — when nothing completed, as
+    /// [`ClassLoadStats::slo_latency_attainment`]).
     pub fn slo_fidelity_attainment(&self) -> f64 {
         if self.completed == 0 {
             0.0

@@ -45,6 +45,7 @@
 //! randomness is drawn: earlier PRs' runs reproduce bit-for-bit.
 
 use crate::bound::CrBound;
+use crate::fault::{FaultKind, FaultPlan, PenaltyBox};
 use crate::load::{Admission, ArrivalProcess, LoadEngine, LoadStats, Workload};
 use crate::node::{NodeAction, PathRole, SwapAsapNode};
 use crate::obs::{SpanStage, Telemetry, TelemetryConfig};
@@ -57,11 +58,17 @@ use qlink_quantum::bell::{bell_fidelity, werner_from_fidelity, BellState};
 use qlink_quantum::ops::entanglement_swap;
 use qlink_quantum::purify::distill_werner;
 use qlink_quantum::{channels, gates, QuantumState};
-use qlink_sim::config::RequestKind;
+use qlink_sim::config::{LinkConfig, RequestKind};
 use qlink_sim::link::{Delivery, LinkSimulation, Rejection};
 use qlink_sim::workload::GeneratedRequest;
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// The reserved span id fault spans are emitted under: fault events
+/// belong to the network, not to any request, and request ids count
+/// up from zero, so the maximum id is free to serve as the "network"
+/// track in chrome-trace exports.
+const FAULT_TRACK: u64 = u64::MAX;
 
 /// A network-layer classical control message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +134,13 @@ enum NetEvent {
     /// the slot freed) and what keeps admission submit-safe when the
     /// freeing event was not itself at a lookahead boundary.
     AdmitQueued,
+    /// A fault-plan event fired (see [`crate::fault`]): take an
+    /// edge's quantum link down, bring one back (possibly under a
+    /// degraded profile), or churn a node. Scheduled through
+    /// [`Network::schedule_cr`] at arm time, so pending faults bound
+    /// the parallel engine's safe horizon — a repair rebuilds a link,
+    /// which must never happen while other links have run ahead.
+    Fault { kind: FaultKind },
 }
 
 /// What kind of activity a trace entry records.
@@ -447,6 +461,26 @@ pub struct Network {
     edge_pairs_delivered: Vec<u64>,
     edge_purify_attempts: Vec<u64>,
     edge_purify_successes: Vec<u64>,
+    /// Fault-injection randomness (flapping dwell draws) — its own
+    /// substream, drawn from only when a fault plan arms, so
+    /// fault-free runs reproduce earlier PRs bit-for-bit.
+    fault_rng: DetRng,
+    /// The penalty box (see [`crate::fault`]), armed together with a
+    /// fault plan by [`Network::set_fault_plan`].
+    penalty_box: Option<PenaltyBox>,
+    /// Planning-time scratch: per-edge penalties handed to
+    /// [`PlanContext::penalties`] — `f64::INFINITY` for downed edges,
+    /// the decayed surcharge otherwise. Stays empty (and planning
+    /// bit-identical to earlier PRs) until a fault plan arms.
+    penalty_snapshot: Vec<f64>,
+    /// Times each edge has been repaired — salts the rebuilt link's
+    /// fresh deterministic seed so successive incarnations never
+    /// replay each other's randomness.
+    repair_count: Vec<u64>,
+    /// Edge failures injected so far (node churn counts per edge).
+    fault_count: u64,
+    /// Edge repairs applied so far.
+    repair_total: u64,
     /// Execution engine for `run_for`/`run_until_outcome` (see
     /// [`crate::par`]).
     exec: ExecMode,
@@ -504,6 +538,7 @@ impl Network {
             edge_pairs_delivered: vec![0; links.len()],
             edge_purify_attempts: vec![0; links.len()],
             edge_purify_successes: vec![0; links.len()],
+            repair_count: vec![0; links.len()],
             links,
             nodes,
             queue: EventQueue::new(),
@@ -516,6 +551,12 @@ impl Network {
             // it here perturbs nothing, and no draw ever leaves it
             // unless a workload arms.
             load_rng: DetRng::new(seed).substream("net/load"),
+            // Same contract: untouched unless a fault plan arms.
+            fault_rng: DetRng::new(seed).substream("net/fault"),
+            penalty_box: None,
+            penalty_snapshot: Vec::new(),
+            fault_count: 0,
+            repair_total: 0,
             workload: None,
             requests: HashMap::new(),
             groups: HashMap::new(),
@@ -843,6 +884,156 @@ impl Network {
         self.timed_out
     }
 
+    // ---- fault injection (see crate::fault) --------------------------
+
+    /// Arms a fault plan (see [`crate::fault`]): scheduled events
+    /// land on the shared queue at their offsets from *now*, flapping
+    /// processes are realized into concrete fail/repair events from
+    /// the dedicated `net/fault` substream, and the penalty box
+    /// starts pricing planning. Every fault event is control-class
+    /// (`Network::schedule_cr`) — a repair rebuilds a link, which
+    /// must never happen while other links have run ahead — so
+    /// [`ExecMode::Sharded`] runs stay bit-identical to
+    /// [`ExecMode::Sequential`] under adversity.
+    ///
+    /// Faults hit the *quantum* links only: classical control
+    /// channels stay up, keeping [`Topology::min_control_delay`] (and
+    /// with it the parallel lookahead bound) valid. A plan that
+    /// disconnects a pair a request is later issued for makes that
+    /// issue panic ("no path"), exactly like a statically
+    /// disconnected pair — run fault plans on topologies that stay
+    /// connected (a grid survives any single edge).
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        self.penalty_box = Some(PenaltyBox::new(self.topo.edge_count(), plan.penalty));
+        for (delay, kind) in plan.expand(&mut self.fault_rng) {
+            self.schedule_cr(delay, NetEvent::Fault { kind });
+        }
+    }
+
+    /// Edge failures injected so far (node churn counts one per
+    /// incident edge actually taken down).
+    pub fn faults(&self) -> u64 {
+        self.fault_count
+    }
+
+    /// Edge repairs applied so far.
+    pub fn repairs(&self) -> u64 {
+        self.repair_total
+    }
+
+    /// The edge's current (decayed) penalty-box surcharge: 0 when no
+    /// fault plan is armed, the box is disabled, or the penalty has
+    /// decayed away.
+    pub fn penalty(&self, edge: usize) -> f64 {
+        self.penalty_box
+            .as_ref()
+            .map_or(0.0, |pb| pb.penalty(edge, self.queue.now()))
+    }
+
+    fn on_fault(&mut self, kind: FaultKind, t: SimTime) {
+        match kind {
+            FaultKind::Fail { edge } => self.fail_edge(edge, t),
+            FaultKind::Repair { edge, profile } => self.repair_edge(edge, profile.map(|p| *p), t),
+            FaultKind::NodeDown { node } => {
+                for edge in self.topo.edges_at(node) {
+                    self.fail_edge(edge, t);
+                }
+            }
+            FaultKind::NodeUp { node } => {
+                for edge in self.topo.edges_at(node) {
+                    self.repair_edge(edge, None, t);
+                }
+            }
+        }
+    }
+
+    /// Takes an edge's quantum link down: marks it down (planning
+    /// treats it as absent), bumps its penalty, and fails every
+    /// *armed* in-flight request riding it through the ordinary
+    /// rejection path — release, retract, backoff, re-plan
+    /// ([`Network::fail_attempt`]). Unarmed requests are left alone,
+    /// exactly as an unarmed stream leaves a link rejection
+    /// unobserved ([`Network::on_rejection`]): they lose their queued
+    /// CREATEs at the eventual repair and surface as driver-level
+    /// timeouts. No-op if the edge is already down.
+    fn fail_edge(&mut self, edge: usize, t: SimTime) {
+        if !self.topo.edge_up(edge) {
+            return;
+        }
+        self.topo.set_edge_up(edge, false);
+        self.fault_count += 1;
+        if let Some(pb) = &mut self.penalty_box {
+            let v = pb.bump(edge, t);
+            if let Some(tl) = self.telemetry.as_deref_mut() {
+                tl.on_penalty(edge, v);
+            }
+        }
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            tl.on_edge_fail(edge);
+            tl.emit(t, FAULT_TRACK, 0, SpanStage::EdgeFail { edge });
+        }
+        // Fail the armed in-flight streams riding the edge, in sorted
+        // id order — HashMap iteration order must never leak into the
+        // event stream.
+        let mut victims: Vec<u64> = self
+            .requests
+            .iter()
+            .filter(|(_, req)| req.seed.armed && req.edges.contains(&edge))
+            .map(|(&id, _)| id)
+            .collect();
+        victims.sort_unstable();
+        for id in victims {
+            self.fail_attempt(id, Some(edge), t);
+        }
+    }
+
+    /// Brings an edge's quantum link back up, optionally under a
+    /// replacement (typically degraded) profile. The underlying link
+    /// simulation is rebuilt from scratch: repaired hardware does not
+    /// resume the randomness of its previous life, so the new
+    /// incarnation runs under a fresh deterministic seed (salted by
+    /// the per-edge repair count) with its first MHP cycle aligned to
+    /// the boundary at or after `t` — no history replay, O(1)
+    /// whatever the downtime. The penalty box is *not* cleared: the
+    /// edge re-enters planning at its decayed price. No-op if the
+    /// edge is already up.
+    fn repair_edge(&mut self, edge: usize, profile: Option<LinkConfig>, t: SimTime) {
+        if self.topo.edge_up(edge) {
+            return;
+        }
+        self.topo.set_edge_up(edge, true);
+        self.repair_total += 1;
+        if let Some(profile) = profile {
+            // A new profile changes the edge's FEU-derived planning
+            // profile; drop the cached planner so the next plan
+            // re-profiles every edge against the current configs.
+            self.topo.set_link_config(edge, profile);
+            self.planner = None;
+        }
+        self.repair_count[edge] += 1;
+        let mut cfg = self.topo.edge(edge).link.clone();
+        cfg.seed = DetRng::new(cfg.seed)
+            .substream(&format!("repair/{}", self.repair_count[edge]))
+            .seed();
+        let mut link = LinkSimulation::new_starting_at(cfg, t);
+        link.capture_deliveries();
+        link.capture_rejections();
+        self.links[edge] = link;
+        // Bookkeeping into the old incarnation dies with it: queued
+        // CREATEs can never be served, and dropping their keys here
+        // keeps them from colliding with the rebuilt link's fresh
+        // create ids. A still-pending Expire for one of them fires
+        // into the new link as a no-op (unknown create id).
+        self.pending_creates.retain(|k, _| k.0 != edge);
+        if let Some(tl) = self.telemetry.as_deref_mut() {
+            tl.on_edge_repair(edge);
+            tl.emit(t, FAULT_TRACK, 0, SpanStage::EdgeRepair { edge });
+        }
+        // Any wake scheduled for the old incarnation is superseded by
+        // the generation bump.
+        self.schedule_wake(edge);
+    }
+
     /// Whether failures are acted on at all: with no timeout *and* no
     /// retry budget, rejection handling stays fully inert so earlier
     /// PRs' runs reproduce bit-for-bit.
@@ -926,6 +1117,25 @@ impl Network {
         if self.planner.is_none() {
             self.planner = Some(RoutePlanner::new(&self.topo));
         }
+        // Refresh the planning-time penalty snapshot: downed edges
+        // are infinitely penalized (treated as absent — how the fault
+        // layer keeps planning off dead links), every other edge
+        // carries its decayed penalty-box surcharge. The snapshot
+        // stays empty — and planning bit-identical to earlier PRs —
+        // until a fault plan arms.
+        if let Some(pb) = &self.penalty_box {
+            let now = self.queue.now();
+            let topo = &self.topo;
+            let snap = &mut self.penalty_snapshot;
+            snap.clear();
+            snap.extend((0..topo.edge_count()).map(|e| {
+                if topo.edge_up(e) {
+                    pb.penalty(e, now)
+                } else {
+                    f64::INFINITY
+                }
+            }));
+        }
         let planner = self.planner.as_ref().expect("planner just built");
         planner.k_shortest_paths_in(
             &self.topo,
@@ -938,6 +1148,7 @@ impl Network {
                 purify,
                 loads: &self.edge_load,
                 exclude,
+                penalties: &self.penalty_snapshot,
             },
         )
     }
@@ -1456,9 +1667,7 @@ impl Network {
             for &n in &req.path {
                 self.nodes[n].release(request);
             }
-            for &e in &req.edges {
-                self.edge_load[e] -= 1;
-            }
+            self.release_edge_load(request, &req.edges);
         }
         // A stream parked between failure and re-issue holds no
         // reservations (its failing attempt released them). Dropping
@@ -1480,6 +1689,24 @@ impl Network {
     }
 
     // ---- internals ---------------------------------------------------
+
+    /// Releases one reservation per path edge of `request`. The
+    /// subtraction is checked: with fault injection in play a release
+    /// can race a fault-triggered teardown of the same attempt, and a
+    /// double release must flag loudly in debug builds (naming the
+    /// edge and the request) instead of underflow-panicking — and
+    /// saturate at zero, never wrap, in release builds.
+    fn release_edge_load(&mut self, request: u64, edges: &[usize]) {
+        for &e in edges {
+            match self.edge_load[e].checked_sub(1) {
+                Some(next) => self.edge_load[e] = next,
+                None => debug_assert!(
+                    false,
+                    "edge_load underflow: double release of edge {e} by request {request}"
+                ),
+            }
+        }
+    }
 
     fn account_elapsed(&mut self, duration: SimDuration, horizon: SimTime) {
         self.elapsed += duration;
@@ -1592,6 +1819,10 @@ impl Network {
             NetEvent::AdmitQueued => {
                 self.cr_pending.fired(t);
                 self.on_admit_queued(t);
+            }
+            NetEvent::Fault { kind } => {
+                self.cr_pending.fired(t);
+                self.on_fault(kind, t);
             }
         }
     }
@@ -1845,6 +2076,16 @@ impl Network {
             if let Some(tl) = self.telemetry.as_deref_mut() {
                 tl.on_unsupp(edge_idx);
             }
+            // A terminal "this link cannot serve that" also feeds the
+            // penalty box: the edge is priced up for *everyone*, so
+            // later plans steer other requests around it — whether or
+            // not this particular stream was armed to react itself.
+            if let Some(pb) = &mut self.penalty_box {
+                let v = pb.bump(edge_idx, t);
+                if let Some(tl) = self.telemetry.as_deref_mut() {
+                    tl.on_penalty(edge_idx, v);
+                }
+            }
         }
         if !self
             .requests
@@ -1890,9 +2131,7 @@ impl Network {
         for &n in &req.path {
             self.nodes[n].release(request);
         }
-        for &e in &req.edges {
-            self.edge_load[e] -= 1;
-        }
+        self.release_edge_load(request, &req.edges);
         self.retract_pending_creates(request, req.seed.attempt);
 
         let mut excluded = req.seed.excluded;
@@ -2396,9 +2635,7 @@ impl Network {
         for &n in &req.path {
             self.nodes[n].release(request);
         }
-        for &e in &req.edges {
-            self.edge_load[e] -= 1;
-        }
+        self.release_edge_load(request, &req.edges);
         self.record(t, TraceKind::Complete(request));
         debug_assert_eq!(req.segments.len(), 1, "completion with fragmented path");
         let mut seg = req.segments.into_iter().next().expect("spanning segment");

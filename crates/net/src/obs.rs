@@ -169,6 +169,13 @@ pub enum SpanStage {
     /// The request was abandoned: its retry budget is exhausted (same
     /// `failed_edge` convention as [`SpanStage::Reroute`]).
     Abandon { failed_edge: Option<usize> },
+    /// The fault layer took an edge's quantum link down (see
+    /// [`crate::fault`]). Emitted under the reserved network-track
+    /// span id (`u64::MAX`), not a request id.
+    EdgeFail { edge: usize },
+    /// The fault layer brought an edge back up (same reserved track
+    /// as [`SpanStage::EdgeFail`]).
+    EdgeRepair { edge: usize },
 }
 
 impl SpanStage {
@@ -188,6 +195,8 @@ impl SpanStage {
             SpanStage::Reroute { .. } => "reroute",
             SpanStage::Retract { .. } => "retract",
             SpanStage::Abandon { .. } => "abandon",
+            SpanStage::EdgeFail { .. } => "edge_fail",
+            SpanStage::EdgeRepair { .. } => "edge_repair",
         }
     }
 
@@ -235,7 +244,9 @@ impl SpanStage {
                     None => "\"failed_edge\":null".to_string(),
                 }
             }
-            SpanStage::Retract { edge } => format!("\"edge\":{edge}"),
+            SpanStage::Retract { edge }
+            | SpanStage::EdgeFail { edge }
+            | SpanStage::EdgeRepair { edge } => format!("\"edge\":{edge}"),
         }
     }
 }
@@ -299,6 +310,14 @@ pub struct Metrics {
     /// Open-loop workload only: admission queue wait per user class
     /// (zero for arrivals admitted on the spot).
     pub class_queue_wait: Vec<Histogram>,
+    /// Fault injection (see [`crate::fault`]): edge failures applied,
+    /// per edge.
+    pub edge_fails: Vec<u64>,
+    /// Fault injection: edge repairs applied, per edge.
+    pub edge_repairs: Vec<u64>,
+    /// Fault injection: the highest penalty-box surcharge each edge
+    /// reached (a gauge — the live value decays between bumps).
+    pub penalty_high_water: Vec<f64>,
 }
 
 impl Metrics {
@@ -320,6 +339,9 @@ impl Metrics {
             class_drops: Vec::new(),
             class_latency: Vec::new(),
             class_queue_wait: Vec::new(),
+            edge_fails: vec![0; edges],
+            edge_repairs: vec![0; edges],
+            penalty_high_water: vec![0.0; edges],
         }
     }
 }
@@ -551,6 +573,28 @@ impl Telemetry {
     pub(crate) fn on_class_complete(&mut self, class: usize, latency_s: f64) {
         if self.config.metrics {
             self.metrics.class_latency[class].record(latency_s);
+        }
+    }
+
+    pub(crate) fn on_edge_fail(&mut self, edge: usize) {
+        if self.config.metrics {
+            self.metrics.edge_fails[edge] += 1;
+        }
+    }
+
+    pub(crate) fn on_edge_repair(&mut self, edge: usize) {
+        if self.config.metrics {
+            self.metrics.edge_repairs[edge] += 1;
+        }
+    }
+
+    /// The penalty box was bumped to `value` on `edge` — track the
+    /// high water. (A gauge of bumps, not of the decayed value: the
+    /// maximum is always attained at a bump instant.)
+    pub(crate) fn on_penalty(&mut self, edge: usize, value: f64) {
+        if self.config.metrics {
+            let g = &mut self.metrics.penalty_high_water[edge];
+            *g = g.max(value);
         }
     }
 }

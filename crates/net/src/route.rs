@@ -404,16 +404,28 @@ impl RoutePlanner {
         let purified = ctx.purify.prices_purified_edges();
         move |edge| {
             let p = &self.profiles[edge];
-            if p.fidelity_ceiling < fmin || ctx.exclude.contains(&edge) {
-                // UNSUPP-infeasible or explicitly barred (re-route
-                // away from a failed edge): treat as absent.
+            let penalty = ctx.penalties.get(edge).copied().unwrap_or(0.0);
+            if p.fidelity_ceiling < fmin || ctx.exclude.contains(&edge) || penalty.is_infinite() {
+                // UNSUPP-infeasible, explicitly barred (re-route away
+                // from a failed edge), or currently down (the fault
+                // layer reports downed edges as infinitely
+                // penalized): treat as absent.
                 f64::INFINITY
             } else {
                 let load = ctx.loads.get(edge).copied().unwrap_or(0);
-                if purified {
+                let base = if purified {
                     metric.purified_load_cost(p, load)
                 } else {
                     metric.load_cost(p, load)
+                };
+                if penalty > 0.0 {
+                    // Penalty-box surcharge: multiplicative so it
+                    // bites under every metric, including unit-cost
+                    // HopCount. Only applied when positive, so
+                    // unpenalized costs are untouched bit for bit.
+                    base * (1.0 + penalty)
+                } else {
+                    base
                 }
             }
         }
@@ -572,6 +584,12 @@ pub struct PlanContext<'a> {
     /// Edges treated as absent regardless of cost — the re-route
     /// machinery bars the edges of a failed attempt here.
     pub exclude: &'a [usize],
+    /// Penalty-box surcharge per edge index (see [`crate::fault`]):
+    /// a positive value multiplies the edge's cost by `1 + penalty`,
+    /// `f64::INFINITY` removes the edge (how the fault layer bars
+    /// currently-down edges), and edges beyond the slice (or an
+    /// empty slice) are unpenalized.
+    pub penalties: &'a [f64],
 }
 
 /// Edges (and via them, nodes) temporarily removed from the graph

@@ -8,6 +8,7 @@
 //! thread count — parallelism changes wall-clock time only, never
 //! results.
 
+use crate::fault::{FaultPlan, Flapping, PenaltyConfig};
 use crate::load::{ClassLoadStats, Workload};
 use crate::network::Network;
 use crate::obs::{fidelity_histogram, latency_histogram};
@@ -82,6 +83,33 @@ impl ExecChoice {
             ExecChoice::Sharded(n) => Some(ExecMode::Sharded(n)),
         }
     }
+}
+
+/// Which adversity a sweep run is subjected to (the data-only `Copy`
+/// stand-in for [`FaultPlan`], so specs stay trivially `Send` +
+/// `Clone` across worker threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultChoice {
+    /// No fault plan is armed: no fault events, no penalty box, no
+    /// draws from the `"net/fault"` substream — earlier PRs' event
+    /// streams reproduce bit-for-bit.
+    #[default]
+    None,
+    /// Every edge flaps independently: `cycles` fail/repair pairs with
+    /// exponential `mean_up`/`mean_down` dwells, realized at arm time
+    /// from the run seed's `"net/fault"` substream (see [`Flapping`]).
+    Flapping {
+        /// Mean up-dwell before each failure.
+        mean_up: SimDuration,
+        /// Mean down-dwell before each repair.
+        mean_down: SimDuration,
+        /// Fail/repair cycles per edge.
+        cycles: usize,
+        /// Arm the penalty box ([`PenaltyConfig::default`]) or switch
+        /// it off ([`PenaltyConfig::off`]) — the A/B knob behind the
+        /// robustness bench.
+        penalty_box: bool,
+    },
 }
 
 /// Which topology a sweep run instantiates.
@@ -192,6 +220,10 @@ pub struct ScenarioSpec {
     /// `rounds`, `streams`, `pairs`, and `fmin` are ignored (each
     /// [`crate::load::UserClass`] carries its own pairs and fmin).
     pub workload: Option<Workload>,
+    /// Adversity the run is subjected to ([`FaultChoice::None`] by
+    /// default, which arms no plan and reproduces earlier PRs'
+    /// results bit-for-bit).
+    pub faults: FaultChoice,
 }
 
 impl ScenarioSpec {
@@ -218,6 +250,7 @@ impl ScenarioSpec {
             request_timeout: None,
             exec: ExecChoice::Auto,
             workload: None,
+            faults: FaultChoice::None,
         }
     }
 
@@ -332,6 +365,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Builder: subject the run to adversity (see [`FaultChoice`]).
+    pub fn with_faults(mut self, faults: FaultChoice) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Number of nodes in the run's topology, whatever its shape.
     pub fn node_count(&self) -> usize {
         match self.topology {
@@ -397,6 +436,13 @@ pub struct RunRecord {
     pub reroutes: u64,
     /// Total events fired (shared queue + all links).
     pub events: u64,
+    /// Edge failures injected by the run's fault plan
+    /// ([`Network::faults`](crate::network::Network::faults); 0 with
+    /// no plan armed).
+    pub faults: u64,
+    /// Edge repairs applied by the run's fault plan
+    /// ([`Network::repairs`](crate::network::Network::repairs)).
+    pub repairs: u64,
     /// Latency distribution of the delivered requests (seconds; the
     /// standard [`latency_histogram`] layout, so per-seed histograms
     /// merge exactly into [`ScenarioStats::latency_hist`]). Always
@@ -446,6 +492,10 @@ pub struct ScenarioStats {
     pub reroutes: u64,
     /// Total events fired across runs.
     pub events: u64,
+    /// Edge failures injected across runs.
+    pub faults: u64,
+    /// Edge repairs applied across runs.
+    pub repairs: u64,
     /// Exact bucket-merge of every run's latency histogram; read
     /// percentiles off it via [`ScenarioStats::latency_percentiles`].
     pub latency_hist: Histogram,
@@ -509,20 +559,21 @@ impl SweepReport {
 
     /// Per-scenario latency and fidelity percentiles as CSV (one row
     /// per scenario): `scenario, delivered, latency p50/p90/p99 in
-    /// seconds, fidelity p50/p90/p99`. Deterministic: a pure function
-    /// of the merged histograms.
+    /// seconds, fidelity p50/p90/p99, injected edge faults and
+    /// repairs`. Deterministic: a pure function of the merged
+    /// histograms and counters.
     pub fn percentile_csv(&self) -> String {
         let mut out = String::from(
             "scenario,delivered,latency_p50_s,latency_p90_s,latency_p99_s,\
-             fidelity_p50,fidelity_p90,fidelity_p99\n",
+             fidelity_p50,fidelity_p90,fidelity_p99,faults,repairs\n",
         );
         for s in &self.scenarios {
             let (l50, l90, l99) = s.latency_percentiles();
             let (f50, f90, f99) = s.fidelity_percentiles();
             let _ = writeln!(
                 out,
-                "{},{},{l50:.6},{l90:.6},{l99:.6},{f50:.6},{f90:.6},{f99:.6}",
-                s.name, s.successes
+                "{},{},{l50:.6},{l90:.6},{l99:.6},{f50:.6},{f90:.6},{f99:.6},{},{}",
+                s.name, s.successes, s.faults, s.repairs
             );
         }
         out
@@ -636,6 +687,29 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
     net.set_purify_policy(spec.purify);
     net.set_retry_budget(spec.retries);
     net.set_request_timeout(spec.request_timeout);
+    if let FaultChoice::Flapping {
+        mean_up,
+        mean_down,
+        cycles,
+        penalty_box,
+    } = spec.faults
+    {
+        let mut plan = FaultPlan::new().with_penalty(if penalty_box {
+            PenaltyConfig::default()
+        } else {
+            PenaltyConfig::off()
+        });
+        for edge in 0..net.topology().edge_count() {
+            plan = plan.with_flapping(Flapping {
+                edge,
+                mean_up,
+                mean_down,
+                cycles,
+                degrade: None,
+            });
+        }
+        net.set_fault_plan(&plan);
+    }
     // Event statistics start at the run boundary: construction
     // pre-schedules wakes and link cycles, and a queue reused across
     // runs keeps its counters through `clear()` (see
@@ -654,6 +728,8 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
         timeouts: 0,
         reroutes: 0,
         events: 0,
+        faults: 0,
+        repairs: 0,
         latency_hist: latency_histogram(),
         fidelity_hist: fidelity_histogram(),
         deliveries: TimeSeries::new(),
@@ -686,6 +762,8 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
             .sum();
         record.reroutes = net.reroutes();
         record.events = net.events_fired();
+        record.faults = net.faults();
+        record.repairs = net.repairs();
         return record;
     }
     for _ in 0..spec.rounds {
@@ -743,6 +821,8 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
     }
     record.reroutes = net.reroutes();
     record.events = net.events_fired();
+    record.faults = net.faults();
+    record.repairs = net.repairs();
     record
 }
 
@@ -826,6 +906,8 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 timeouts: 0,
                 reroutes: 0,
                 events: 0,
+                faults: 0,
+                repairs: 0,
                 latency_hist: latency_histogram(),
                 fidelity_hist: fidelity_histogram(),
                 deliveries: TimeSeries::new(),
@@ -842,6 +924,8 @@ pub fn sweep(specs: &[ScenarioSpec], seeds: &[u64], threads: usize) -> SweepRepo
                 stats.timeouts += run.timeouts;
                 stats.reroutes += run.reroutes;
                 stats.events += run.events;
+                stats.faults += run.faults;
+                stats.repairs += run.repairs;
                 stats.latency_hist.merge(&run.latency_hist);
                 stats.fidelity_hist.merge(&run.fidelity_hist);
                 stats.deliveries.merge(&run.deliveries);

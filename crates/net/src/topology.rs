@@ -32,6 +32,13 @@ pub struct Edge {
     /// nodes (defaults to the fiber propagation delay across the
     /// edge's full span).
     pub control_delay: SimDuration,
+    /// Whether the quantum link is currently serviceable. Edges come
+    /// up; the fault layer ([`crate::fault`]) takes them down and
+    /// brings them back at runtime. A downed edge still exists in the
+    /// graph (its control channel keeps carrying classical traffic,
+    /// so [`Topology::min_control_delay`] is unaffected) but the
+    /// route planner treats it as absent.
+    pub up: bool,
 }
 
 impl Edge {
@@ -200,6 +207,7 @@ impl Topology {
             b,
             link,
             control_delay,
+            up: true,
         });
         id
     }
@@ -210,6 +218,39 @@ impl Topology {
     /// Panics on an unknown edge.
     pub fn set_control_delay(&mut self, edge: usize, delay: SimDuration) {
         self.edges[edge].control_delay = delay;
+    }
+
+    /// Whether an edge's quantum link is currently serviceable.
+    ///
+    /// # Panics
+    /// Panics on an unknown edge.
+    pub fn edge_up(&self, edge: usize) -> bool {
+        self.edges[edge].up
+    }
+
+    /// Marks an edge's quantum link up or down (the fault layer's
+    /// mutator — see [`crate::fault`]). The edge stays in the graph:
+    /// its classical control channel is unaffected, which is what
+    /// keeps [`Topology::min_control_delay`] — and with it the
+    /// parallel engine's lookahead bound — valid across failures.
+    ///
+    /// # Panics
+    /// Panics on an unknown edge.
+    pub fn set_edge_up(&mut self, edge: usize, up: bool) {
+        self.edges[edge].up = up;
+    }
+
+    /// Replaces an edge's link-layer configuration — how a repaired
+    /// link comes back with a different (typically degraded) physics
+    /// profile. The classical `control_delay` is deliberately kept:
+    /// changing it mid-run could shrink
+    /// [`Topology::min_control_delay`] below the lookahead the
+    /// parallel engine already committed to.
+    ///
+    /// # Panics
+    /// Panics on an unknown edge.
+    pub fn set_link_config(&mut self, edge: usize, link: LinkConfig) {
+        self.edges[edge].link = link;
     }
 
     /// Number of nodes.

@@ -84,6 +84,9 @@ pub use qlink_wire as wire;
 pub mod prelude {
     pub use crate::des::{DetRng, SimDuration, SimTime};
     pub use crate::net::chain::RepeaterChain;
+    pub use crate::net::fault::{
+        FaultKind, FaultPlan, FaultSpec, Flapping, PenaltyBox, PenaltyConfig,
+    };
     pub use crate::net::load::{
         AdmissionControl, ArrivalProcess, ClassLoadStats, LoadStats, SloTarget, TraceArrival,
         UserClass, Workload,
@@ -96,7 +99,7 @@ pub mod prelude {
         RouteMetric, RoutePlanner,
     };
     pub use crate::net::sweep::{
-        sweep, ExecChoice, MetricChoice, ScenarioSpec, SweepReport, TopologyChoice,
+        sweep, ExecChoice, FaultChoice, MetricChoice, ScenarioSpec, SweepReport, TopologyChoice,
     };
     pub use crate::net::topology::Topology;
     pub use crate::phys::params::{Scenario, ScenarioParams};

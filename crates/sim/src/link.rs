@@ -229,6 +229,24 @@ impl LinkSimulation {
         sim
     }
 
+    /// Builds the link as [`LinkSimulation::new`] but with its first
+    /// MHP cycle aligned to the first cycle boundary at or after
+    /// `at` — how an embedding layer brings a repaired link into
+    /// service mid-run. The link's internal clock still starts at
+    /// zero (the simulation never computes anything before `at`; the
+    /// embedder's next `advance_to` parks it at the shared time), no
+    /// history is replayed, and no random draw happens for the
+    /// skipped cycles, so the rebuild costs O(1) regardless of when
+    /// the repair lands.
+    pub fn new_starting_at(cfg: LinkConfig, at: SimTime) -> Self {
+        let mut sim = Self::new(cfg);
+        let c0 = at.as_ps().div_ceil(sim.cfg.scenario.mhp_cycle.as_ps());
+        sim.queue.clear();
+        sim.queue.schedule_at(sim.cycle_start(c0), Event::Cycle(c0));
+        sim.next_cycle_scheduled = c0;
+        sim
+    }
+
     /// The simulation's current time.
     pub fn now(&self) -> SimTime {
         self.queue.now()

@@ -308,6 +308,98 @@ fn edge_load_balances_through_every_lifecycle() {
     }
 }
 
+/// The fault-injection extension of the ledger property (PR 9
+/// satellite): with edges flapping underneath live traffic, every
+/// fail-triggered teardown, repair-time CREATE drop, re-route, and
+/// cancellation still leaves `edge_load` in agreement with both
+/// endpoint nodes' reservation counts — and at zero once every
+/// request is resolved. Release sites use checked subtraction
+/// (`Network::release_edge_load`), so a double release from a
+/// fail/release race would fail a debug assertion here rather than
+/// silently corrupt (or, in debug builds, panic-underflow) the
+/// ledger.
+#[test]
+fn edge_load_balances_through_fault_interleavings() {
+    let mut rng = DetRng::new(0xFA17).substream("net-congestion/faults");
+    for trial in 0..4 {
+        let link_seed = rng.below(1 << 20);
+        let net_seed = rng.below(1 << 20);
+        let retries = rng.below(3) as u32;
+        let timeout_ms = 80 + rng.below(200);
+        let mut topo = Topology::grid(3, 3, |i| lab(link_seed + i as u64));
+        topo.connect(0, 4, noisy_lab(link_seed + 100));
+        let mut net = Network::new(topo, net_seed);
+        net.set_route_metric(LoadScaledLatency);
+        net.set_retry_budget(retries);
+        net.set_request_timeout(Some(SimDuration::from_millis(timeout_ms)));
+        // Three central edges flap fast underneath the traffic; the
+        // noisy shortcut adds UNSUPP rejections to the interleaving.
+        let mut plan = FaultPlan::new();
+        for edge in [1, 4, 7] {
+            plan = plan.with_flapping(Flapping {
+                edge,
+                mean_up: SimDuration::from_millis(60),
+                mean_down: SimDuration::from_millis(20),
+                cycles: 4,
+                degrade: None,
+            });
+        }
+        net.set_fault_plan(&plan);
+
+        let mut requests = vec![
+            net.request_entanglement(0, 8, 0.6),
+            net.request_entanglement(2, 6, 0.6),
+            net.request_entanglement(3, 5, 0.6),
+            net.request_entanglement(0, 8, 0.95),
+        ];
+        requests.push(net.request_on_path(&[0, 4, 5, 8], 0.6));
+
+        let check = |net: &Network, when: &str| {
+            for e in 0..net.topology().edge_count() {
+                let edge = net.topology().edge(e);
+                let load = net.edge_load(e) as usize;
+                assert_eq!(
+                    load,
+                    net.node(edge.a).reserved_on_edge(e),
+                    "trial {trial} {when}: edge {e} vs node {}",
+                    edge.a
+                );
+                assert_eq!(
+                    load,
+                    net.node(edge.b).reserved_on_edge(e),
+                    "trial {trial} {when}: edge {e} vs node {}",
+                    edge.b
+                );
+            }
+        };
+
+        check(&net, "after issue");
+        let deadline = net.now() + SimDuration::from_millis(800);
+        loop {
+            let left = deadline.saturating_since(net.now());
+            if left == SimDuration::ZERO {
+                break;
+            }
+            let outcome = net.run_until_outcome(left);
+            check(&net, "mid-run");
+            if outcome.is_none() {
+                break;
+            }
+        }
+        assert!(
+            net.faults() > 0,
+            "trial {trial}: the flapping plan must actually fire"
+        );
+        for r in requests.drain(..) {
+            net.cancel_request(r);
+        }
+        check(&net, "after cancel");
+        for e in 0..net.topology().edge_count() {
+            assert_eq!(net.edge_load(e), 0, "trial {trial}: edge {e} leaked load");
+        }
+    }
+}
+
 /// PR 3 regression anchors, captured before this PR's plumbing
 /// landed: with retries = 0 and no request timeout (the defaults) the
 /// new machinery schedules no events and draws no randomness, so
