@@ -64,6 +64,14 @@
 //!   accounting — arrivals are first-class shared-queue events, so
 //!   open-loop runs stay bit-identical across [`ExecMode`]s
 //!   ([`Network::set_workload`]);
+//! * [`ruleset`](mod@ruleset) — the RuleSet control plane: per-node
+//!   protocol logic as data — an ordered `condition → action` table
+//!   compiled from a [`Policy`] at plan time, installed on every path
+//!   node, and interpreted deterministically on each observation;
+//!   interpreted SWAP-ASAP is bit-identical to the hard-coded
+//!   machine, and new behaviours (threshold-gated purification,
+//!   k-round entanglement pumping) ship as tables only
+//!   ([`Network::set_ruleset_policy`]);
 //! * [`sweep`](mod@sweep) — the parallel scenario-sweep driver: a scenario × seed
 //!   matrix fanned across OS threads with deterministic merged
 //!   aggregates;
@@ -87,6 +95,7 @@ pub mod obs;
 pub mod par;
 pub mod purify;
 pub mod route;
+pub mod ruleset;
 pub mod sweep;
 pub mod topology;
 
@@ -108,8 +117,11 @@ pub use route::{
     EdgeProfile, FidelityProduct, HopCount, Latency, LoadScaledLatency, PlanContext, Route,
     RouteMetric, RoutePlanner,
 };
+pub use ruleset::{
+    Action, ArmProgram, Condition, Emit, FiredRule, Obs, Policy, Rule, RuleSet, RuleState, Trigger,
+};
 pub use sweep::{
-    run_one, sweep, ExecChoice, FaultChoice, LinkScenario, MetricChoice, RunRecord, ScenarioSpec,
-    ScenarioStats, SweepReport, TopologyChoice,
+    run_one, sweep, ExecChoice, FaultChoice, LinkScenario, MetricChoice, PolicyChoice, RunRecord,
+    ScenarioSpec, ScenarioStats, SweepReport, TopologyChoice,
 };
 pub use topology::{Edge, Node, Topology};

@@ -52,6 +52,7 @@ use crate::obs::{SpanStage, Telemetry, TelemetryConfig};
 use crate::par::{ExecMode, ShardPool};
 use crate::purify::PurifyPolicy;
 use crate::route::{HopCount, PlanContext, Route, RouteMetric, RoutePlanner};
+use crate::ruleset::{ArmProgram, Policy};
 use crate::topology::Topology;
 use qlink_des::{DetRng, EventQueue, SimDuration, SimTime};
 use qlink_quantum::bell::{bell_fidelity, werner_from_fidelity, BellState};
@@ -62,6 +63,7 @@ use qlink_sim::config::{LinkConfig, RequestKind};
 use qlink_sim::link::{Delivery, LinkSimulation, Rejection};
 use qlink_sim::workload::GeneratedRequest;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The reserved span id fault spans are emitted under: fault events
@@ -280,6 +282,12 @@ struct PathRequest {
     pair_fidelities: Vec<Vec<f64>>,
     /// Link pairs delivered for this request so far.
     pairs_consumed: u32,
+    /// Interpreted (RuleSet) attempt: the compiled per-edge pair
+    /// needs, in path-edge order. `None` for hard-coded attempts —
+    /// whose CREATE counts come from `link_purify` — and `Some` for
+    /// interpreted ones, whose regeneration is demand-driven
+    /// ([`SwapAsapNode::take_create_demand`]).
+    edge_needs: Option<Vec<u8>>,
     /// Retry/identity state the attempt was issued under.
     seed: AttemptSeed,
 }
@@ -326,6 +334,11 @@ struct AttemptSeed {
     /// Attempt number, starting at 0; a [`NetEvent::RequestTimeout`]
     /// carrying an older number is stale and ignored.
     attempt: u64,
+    /// The RuleSet policy the request was issued under (`None` =
+    /// hard-coded machine) — pinned like `armed`, so re-routed
+    /// attempts recompile the same tables whatever
+    /// [`Network::set_ruleset_policy`] says by then.
+    policy: Option<Policy>,
 }
 
 /// One completed stream of an end-to-end distillation group, parked
@@ -358,6 +371,9 @@ struct PairGroup {
     /// Whether member streams purify their edges — pinned at group
     /// creation so regeneration ignores later policy changes.
     link_purify: bool,
+    /// The RuleSet policy member streams run under — pinned at group
+    /// creation like `link_purify`.
+    policy: Option<Policy>,
     /// Failure-detection state pinned at group creation
     /// (armed / timeout / retry budget): regenerated member streams
     /// are issued under it, not under whatever the network's knobs
@@ -456,6 +472,10 @@ pub struct Network {
     retract_on_cancel: bool,
     metric: Box<dyn RouteMetric + Send>,
     purify: PurifyPolicy,
+    /// When set, new requests run under the interpreted RuleSet
+    /// control plane instead of the hard-coded machine — see
+    /// [`Network::set_ruleset_policy`].
+    ruleset: Option<Policy>,
     planner: Option<RoutePlanner>,
     edge_load: Vec<u32>,
     edge_pairs_delivered: Vec<u64>,
@@ -574,6 +594,7 @@ impl Network {
             retract_on_cancel: false,
             metric: Box::new(HopCount),
             purify: PurifyPolicy::Off,
+            ruleset: None,
             planner: None,
             exec: ExecMode::from_env(),
             pool: None,
@@ -706,6 +727,42 @@ impl Network {
     /// The purification policy applied to new requests.
     pub fn purify_policy(&self) -> PurifyPolicy {
         self.purify
+    }
+
+    /// Runs new requests under the interpreted RuleSet control plane:
+    /// at issue time the [`Policy`] is compiled to a
+    /// [`crate::ruleset::RuleSet`] table, installed on every path
+    /// node, and interpreted on each observation — the hard-coded
+    /// `SwapAsapNode` transition code never runs for those requests.
+    /// `Policy::SwapAsap` reproduces the hard-coded machine
+    /// bit-for-bit; `Policy::LinkPurify` reproduces
+    /// [`PurifyPolicy::LinkLevel`]; `Policy::EndToEndPurify` runs the
+    /// two-stream end-to-end group with interpreted members. `None`
+    /// (the default) restores the hard-coded machine.
+    ///
+    /// When a policy is set it also takes over edge pricing in
+    /// planning (via [`PlanContext::ruleset`]), so the network's
+    /// [`PurifyPolicy`] knob is ignored for new requests.
+    ///
+    /// In-flight requests keep the policy they were issued under.
+    pub fn set_ruleset_policy(&mut self, policy: Option<Policy>) {
+        self.ruleset = policy;
+    }
+
+    /// The RuleSet policy applied to new requests, if any.
+    pub fn ruleset_policy(&self) -> Option<Policy> {
+        self.ruleset
+    }
+
+    /// The policy individual member streams are issued under:
+    /// end-to-end distillation is group-level machinery (the member
+    /// streams themselves run plain SWAP-ASAP, exactly as under
+    /// [`PurifyPolicy::EndToEnd`]).
+    fn member_ruleset(&self) -> Option<Policy> {
+        match self.ruleset {
+            Some(Policy::EndToEndPurify) => Some(Policy::SwapAsap),
+            other => other,
+        }
     }
 
     /// Sets the per-request timeout: an attempt that has not
@@ -1098,13 +1155,15 @@ impl Network {
         k: usize,
         exclude: &[usize],
     ) -> Vec<Route> {
-        self.plan_with_policy(src, dst, fmin, k, exclude, self.purify)
+        self.plan_with_policy(src, dst, fmin, k, exclude, self.purify, self.ruleset)
     }
 
     /// The planning primitive: current metric + live loads, explicit
     /// exclusions, and an explicit purification policy (re-routes
     /// price under the policy their request was *issued* with, not
-    /// the network's current one).
+    /// the network's current one). A `ruleset` policy takes over edge
+    /// pricing from `purify` when present.
+    #[allow(clippy::too_many_arguments)]
     fn plan_with_policy(
         &mut self,
         src: usize,
@@ -1113,6 +1172,7 @@ impl Network {
         k: usize,
         exclude: &[usize],
         purify: PurifyPolicy,
+        ruleset: Option<Policy>,
     ) -> Vec<Route> {
         if self.planner.is_none() {
             self.planner = Some(RoutePlanner::new(&self.topo));
@@ -1149,6 +1209,7 @@ impl Network {
                 loads: &self.edge_load,
                 exclude,
                 penalties: &self.penalty_snapshot,
+                ruleset,
             },
         )
     }
@@ -1205,7 +1266,7 @@ impl Network {
     /// assert!(out.end_to_end_fidelity > 0.25);
     /// ```
     pub fn request_entanglement(&mut self, src: usize, dst: usize, fmin: f64) -> u64 {
-        if self.purify == PurifyPolicy::EndToEnd {
+        if self.purify == PurifyPolicy::EndToEnd || self.ruleset == Some(Policy::EndToEndPurify) {
             return self.request_entanglement_distilled(src, dst, fmin);
         }
         let route = self
@@ -1257,7 +1318,8 @@ impl Network {
                 done: Vec::new(),
                 swaps: 0,
                 pairs_consumed: 0,
-                link_purify: self.purify == PurifyPolicy::LinkLevel,
+                link_purify: self.ruleset.is_none() && self.purify == PurifyPolicy::LinkLevel,
+                policy: self.member_ruleset(),
                 armed: self.reroute_enabled(),
                 timeout: self.request_timeout,
                 retries: self.retry_budget,
@@ -1275,7 +1337,7 @@ impl Network {
     /// Panics if the path has fewer than two nodes or consecutive
     /// nodes are not connected.
     pub fn request_on_path(&mut self, path: &[usize], fmin: f64) -> u64 {
-        let link_purify = self.purify == PurifyPolicy::LinkLevel;
+        let link_purify = self.ruleset.is_none() && self.purify == PurifyPolicy::LinkLevel;
         self.issue_on_path(path, fmin, link_purify)
     }
 
@@ -1291,6 +1353,7 @@ impl Network {
             requested_at: self.queue.now(),
             group: None,
             attempt: 0,
+            policy: self.member_ruleset(),
         };
         self.issue_fresh(path, fmin, link_purify, seed)
     }
@@ -1355,6 +1418,23 @@ impl Network {
             self.edge_load[e] += 1;
         }
 
+        // An interpreted attempt compiles its policy to a rule table
+        // once and installs per-edge programs (purification rounds,
+        // chosen against the planner's FEU fidelity estimate) on every
+        // path node. Building the planner is deterministic and draws
+        // no RNG, so doing it lazily here cannot move a bit.
+        let compiled = seed.policy.map(|pol| {
+            if self.planner.is_none() {
+                self.planner = Some(RoutePlanner::new(&self.topo));
+            }
+            let planner = self.planner.as_ref().expect("planner just built");
+            let rules = Arc::new(pol.ruleset());
+            let programs: Vec<ArmProgram> = edges
+                .iter()
+                .map(|&e| rules.edge_program(planner.profile(e).fidelity))
+                .collect();
+            (rules, programs)
+        });
         let repeaters = (path.len() - 2) as u32;
         for (i, &n) in path.iter().enumerate() {
             let role = if i == 0 {
@@ -1373,7 +1453,16 @@ impl Network {
                     right: edges[i],
                 }
             };
-            if link_purify {
+            if let Some((rules, programs)) = &compiled {
+                let (left, right) = if i == 0 {
+                    (programs[0], ArmProgram::default())
+                } else if i == path.len() - 1 {
+                    (programs[i - 1], ArmProgram::default())
+                } else {
+                    (programs[i - 1], programs[i])
+                };
+                self.nodes[n].reserve_ruleset(id, role, rules.clone(), left, right);
+            } else if link_purify {
                 self.nodes[n].reserve_purified(id, role);
             } else {
                 self.nodes[n].reserve(id, role);
@@ -1404,6 +1493,9 @@ impl Network {
                 purify_pending: vec![false; edges.len()],
                 pair_fidelities: vec![Vec::new(); edges.len()],
                 pairs_consumed: 0,
+                edge_needs: compiled
+                    .as_ref()
+                    .map(|(_, programs)| programs.iter().map(|p| p.need()).collect()),
                 path,
                 edges,
                 seed,
@@ -1930,8 +2022,13 @@ impl Network {
     /// needs: one pair normally, two under link-level purification.
     fn submit_edge_creates(&mut self, request: u64, pos: usize, fmin: f64) {
         let pairs = match self.requests.get(&request) {
-            Some(req) if req.link_purify => 2,
-            Some(_) => 1,
+            Some(req) => match &req.edge_needs {
+                // Interpreted attempt: initial CREATE count is the
+                // compiled program's pair need for this edge.
+                Some(needs) => needs[pos],
+                None if req.link_purify => 2,
+                None => 1,
+            },
             None => return,
         };
         for _ in 0..pairs {
@@ -2226,17 +2323,18 @@ impl Network {
         } else {
             PurifyPolicy::Off
         };
+        let ruleset = p.seed.policy;
         let route = self
-            .plan_with_policy(p.src, p.dst, p.fmin, 1, &p.seed.excluded, policy)
+            .plan_with_policy(p.src, p.dst, p.fmin, 1, &p.seed.excluded, policy, ruleset)
             .into_iter()
             .next()
             .or_else(|| {
-                self.plan_with_policy(p.src, p.dst, p.fmin, 1, &[], policy)
+                self.plan_with_policy(p.src, p.dst, p.fmin, 1, &[], policy, ruleset)
                     .into_iter()
                     .next()
             })
             .or_else(|| {
-                self.plan_with_policy(p.src, p.dst, 0.0, 1, &[], policy)
+                self.plan_with_policy(p.src, p.dst, 0.0, 1, &[], policy, ruleset)
                     .into_iter()
                     .next()
             });
@@ -2338,8 +2436,34 @@ impl Network {
         }
 
         for node in [a, b] {
-            if let Some(action) = self.nodes[node].on_pair(request, edge_idx) {
+            let action = self.nodes[node].on_pair(request, edge_idx);
+            self.drain_rule_fires(node, t);
+            if let Some(action) = action {
                 self.apply_action(node, action, t);
+            }
+        }
+    }
+
+    /// Surfaces the rule-firing log an interpreted node accumulated
+    /// during its last observation as [`SpanStage::RuleFired`] spans.
+    /// The log is always drained (the node buffers unconditionally so
+    /// its decision path is identical either way), but spans are only
+    /// emitted when telemetry is on — recording stays passive and
+    /// on/off never moves a bit.
+    fn drain_rule_fires(&mut self, node: usize, t: SimTime) {
+        while let Some(f) = self.nodes[node].pop_fired() {
+            if self.telemetry.is_some() {
+                let attempt = self.requests.get(&f.request).map_or(0, |r| r.seed.attempt);
+                let tl = self.telemetry.as_deref_mut().expect("just checked");
+                tl.emit(
+                    t,
+                    f.request,
+                    attempt,
+                    SpanStage::RuleFired {
+                        rule: f.rule,
+                        action: f.action,
+                    },
+                );
             }
         }
     }
@@ -2472,8 +2596,41 @@ impl Network {
                 SpanStage::PurifyParity { edge, accepted },
             );
         }
-        if let Some(action) = self.nodes[at].on_purify_result(request, edge, accepted) {
+        let action = self.nodes[at].on_purify_result(request, edge, accepted);
+        self.drain_rule_fires(at, t);
+        if let Some(action) = action {
             self.apply_action(at, action, t);
+        }
+        // Interpreted attempt: regeneration is demand-driven — the
+        // rule table decided how many fresh pairs this edge needs
+        // (one to pump an accepted round, the program's full need
+        // after a reject, zero when the program completed).
+        if self
+            .requests
+            .get(&request)
+            .is_some_and(|r| r.edge_needs.is_some())
+        {
+            let demand = self.nodes[at].take_create_demand(request, edge);
+            let Some(req) = self.requests.get_mut(&request) else {
+                return;
+            };
+            let Some(pos) = req.edges.iter().position(|&e| e == edge) else {
+                return;
+            };
+            // Only the endpoint that submits this edge's CREATEs
+            // restarts generation (its partner drained an identical
+            // demand above and drops it here).
+            if req.path[pos] != at {
+                return;
+            }
+            if demand > 0 {
+                req.purify_pending[pos] = false;
+                let fmin = req.fmin;
+                for _ in 0..demand {
+                    self.submit_nl(request, pos, fmin);
+                }
+            }
+            return;
         }
         if accepted {
             return;
@@ -2605,7 +2762,9 @@ impl Network {
                 SpanStage::SwapResult { node: at },
             );
         }
-        if let Some(action) = self.nodes[at].on_swap_result(request, z, x) {
+        let action = self.nodes[at].on_swap_result(request, z, x);
+        self.drain_rule_fires(at, t);
+        if let Some(action) = action {
             self.apply_action(at, action, t);
         }
     }
@@ -2773,6 +2932,7 @@ impl Network {
             let fmin = g.fmin;
             let link_purify = g.link_purify;
             let (armed, timeout, retries) = (g.armed, g.timeout, g.retries);
+            let policy = g.policy;
             let mut members = [0u64; 2];
             for (i, route) in routes.iter().enumerate() {
                 // Regenerated members run under the group's pinned
@@ -2787,6 +2947,7 @@ impl Network {
                     requested_at: self.queue.now(),
                     group: Some(group),
                     attempt: 0,
+                    policy,
                 };
                 members[i] = self.issue_fresh(route, fmin, link_purify, seed);
             }

@@ -30,8 +30,21 @@
 //! swap-result messages) and executes the [`NodeAction`]s they emit,
 //! which keeps every quantum operation and every classical
 //! transmission on the shared clock.
+//!
+//! Reservations come in two flavours: the hard-coded machine above
+//! ([`SwapAsapNode::reserve`] / [`SwapAsapNode::reserve_purified`]),
+//! and interpreted reservations
+//! ([`SwapAsapNode::reserve_ruleset`]) that run an installed
+//! [`RuleSet`] table through the
+//! [`crate::ruleset`] interpreter instead. Both flavours consume the
+//! same observations and emit the same [`NodeAction`]s; the
+//! interpreted SWAP-ASAP table is bit-identical to the hard-coded
+//! path (see `crate::ruleset`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ruleset::{ArmProgram, Emit, FiredRule, Obs, RuleSet, RuleState};
 
 /// A node's role in one reserved path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +167,13 @@ impl PathState {
 #[derive(Debug, Default)]
 pub struct SwapAsapNode {
     paths: HashMap<u64, PathState>,
+    /// Interpreted reservations: per-request installed RuleSet state
+    /// (see [`crate::ruleset`]). Disjoint from `paths` by the
+    /// reservation assertions.
+    rules: HashMap<u64, RuleState>,
+    /// Rules the interpreter fired, FIFO — drained by the network
+    /// layer into passive telemetry via [`SwapAsapNode::pop_fired`].
+    fired: Vec<FiredRule>,
     /// Total swaps this node has performed (across requests).
     pub swaps_performed: u64,
     /// Purification rules this node has armed (across requests).
@@ -168,14 +188,19 @@ impl SwapAsapNode {
 
     /// Number of in-flight path reservations at this node.
     pub fn active_paths(&self) -> usize {
-        self.paths.len()
+        self.paths.len() + self.rules.len()
     }
 
     /// The in-flight request ids reserved at this node, ascending.
     /// Reservations are independent per request, so one node serves
     /// any number of concurrent paths (its own or other pairs').
     pub fn active_requests(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self.paths.keys().copied().collect();
+        let mut ids: Vec<u64> = self
+            .paths
+            .keys()
+            .chain(self.rules.keys())
+            .copied()
+            .collect();
         ids.sort_unstable();
         ids
     }
@@ -184,13 +209,12 @@ impl SwapAsapNode {
     /// node-local view of the contention the EGP distributed queue
     /// arbitrates when concurrent requests share a link.
     pub fn reserved_on_edge(&self, edge: usize) -> usize {
-        self.paths
-            .values()
-            .filter(|st| match st.role {
-                PathRole::End { edge: own, .. } => own == edge,
-                PathRole::Repeater { left, right } => left == edge || right == edge,
-            })
-            .count()
+        let uses = |role: PathRole| match role {
+            PathRole::End { edge: own, .. } => own == edge,
+            PathRole::Repeater { left, right } => left == edge || right == edge,
+        };
+        self.paths.values().filter(|st| uses(st.role)).count()
+            + self.rules.values().filter(|st| uses(st.role())).count()
     }
 
     /// Reserves this node for a path with the given role (one pair per
@@ -214,6 +238,10 @@ impl SwapAsapNode {
     }
 
     fn reserve_with_need(&mut self, request: u64, role: PathRole, need: u8) {
+        assert!(
+            !self.rules.contains_key(&request),
+            "request {request} reserved twice"
+        );
         let prev = self.paths.insert(
             request,
             PathState {
@@ -232,7 +260,84 @@ impl SwapAsapNode {
 
     /// `true` while `request` holds a reservation at this node.
     pub fn is_reserved(&self, request: u64) -> bool {
-        self.paths.contains_key(&request)
+        self.paths.contains_key(&request) || self.rules.contains_key(&request)
+    }
+
+    /// Reserves this node for a path that runs an installed
+    /// [`RuleSet`] instead of the hard-coded
+    /// machine: observations route through the [`crate::ruleset`]
+    /// interpreter, whose emissions convert 1:1 into the same
+    /// [`NodeAction`]s. `left` / `right` are the compiled per-edge
+    /// programs of the role's arms (an end uses `left` for its single
+    /// edge; `right` is ignored).
+    ///
+    /// # Panics
+    /// Panics if the request is already reserved here.
+    pub fn reserve_ruleset(
+        &mut self,
+        request: u64,
+        role: PathRole,
+        rules: Arc<RuleSet>,
+        left: ArmProgram,
+        right: ArmProgram,
+    ) {
+        assert!(
+            !self.paths.contains_key(&request),
+            "request {request} reserved twice"
+        );
+        let prev = self
+            .rules
+            .insert(request, RuleState::new(rules, role, left, right));
+        assert!(prev.is_none(), "request {request} reserved twice");
+    }
+
+    /// Drains the fresh-pair demand the interpreter accumulated for
+    /// `request` on `edge` (pump / regenerate actions). Zero for
+    /// hard-coded reservations and unknown edges.
+    pub fn take_create_demand(&mut self, request: u64, edge: usize) -> u8 {
+        match self.rules.get_mut(&request) {
+            Some(st) => st.take_demand(edge),
+            None => 0,
+        }
+    }
+
+    /// Pops the oldest fired-rule log entry, if any. The network layer
+    /// drains this after every observation it feeds the node — always,
+    /// whether or not telemetry records the entries, so recording
+    /// state never changes node or network behaviour.
+    pub fn pop_fired(&mut self) -> Option<FiredRule> {
+        if self.fired.is_empty() {
+            None
+        } else {
+            Some(self.fired.remove(0))
+        }
+    }
+
+    /// Routes an observation through the interpreter of an interpreted
+    /// reservation, converting its emission into a [`NodeAction`] and
+    /// keeping the public counters in step with the hard-coded path.
+    fn observe_rules(&mut self, request: u64, obs: Obs) -> Option<NodeAction> {
+        let st = self.rules.get_mut(&request)?;
+        let emit = st.observe(request, obs, &mut self.fired)?;
+        Some(match emit {
+            Emit::Purify { edge } => {
+                self.purifications_started += 1;
+                NodeAction::Purify { request, edge }
+            }
+            Emit::Swap { left, right } => {
+                self.swaps_performed += 1;
+                NodeAction::Swap {
+                    request,
+                    left,
+                    right,
+                }
+            }
+            Emit::EndReady { frame_z, frame_x } => NodeAction::EndReady {
+                request,
+                frame_z,
+                frame_x,
+            },
+        })
     }
 
     /// Releases a path reservation (completion, timeout, or re-route
@@ -241,12 +346,17 @@ impl SwapAsapNode {
     /// releases along the *old* path, which may no longer include
     /// this node.
     pub fn release(&mut self, request: u64) -> bool {
-        self.paths.remove(&request).is_some()
+        let hard = self.paths.remove(&request).is_some();
+        let interpreted = self.rules.remove(&request).is_some();
+        hard || interpreted
     }
 
     /// Observation: a link pair on `edge` now exists for `request`.
     /// Returns the action this unlocks, if any.
     pub fn on_pair(&mut self, request: u64, edge: usize) -> Option<NodeAction> {
+        if self.rules.contains_key(&request) {
+            return self.observe_rules(request, Obs::PairArrived { edge });
+        }
         let st = self.paths.get_mut(&request)?;
         let need = st.need;
         let armed = st.edge_state(edge)?.on_pair(need);
@@ -267,6 +377,9 @@ impl SwapAsapNode {
         edge: usize,
         accepted: bool,
     ) -> Option<NodeAction> {
+        if self.rules.contains_key(&request) {
+            return self.observe_rules(request, Obs::Parity { edge, accepted });
+        }
         let st = self.paths.get_mut(&request)?;
         let es = st.edge_state(edge)?;
         if !es.purifying {
@@ -286,6 +399,9 @@ impl SwapAsapNode {
     /// arrived at this node. Ends fold it into their Pauli frame;
     /// repeaters ignore it.
     pub fn on_swap_result(&mut self, request: u64, z: u8, x: u8) -> Option<NodeAction> {
+        if self.rules.contains_key(&request) {
+            return self.observe_rules(request, Obs::SwapResult { z, x });
+        }
         let st = self.paths.get_mut(&request)?;
         let PathRole::End { .. } = st.role else {
             return None;

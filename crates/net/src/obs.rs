@@ -169,6 +169,11 @@ pub enum SpanStage {
     /// The request was abandoned: its retry budget is exhausted (same
     /// `failed_edge` convention as [`SpanStage::Reroute`]).
     Abandon { failed_edge: Option<usize> },
+    /// A RuleSet rule fired at a path node of an interpreted request
+    /// (see [`crate::ruleset`]): the rule's index in its table and
+    /// its action tag. Purely passive — the interpreter's decisions
+    /// are identical whether or not the firing is recorded.
+    RuleFired { rule: u32, action: &'static str },
     /// The fault layer took an edge's quantum link down (see
     /// [`crate::fault`]). Emitted under the reserved network-track
     /// span id (`u64::MAX`), not a request id.
@@ -195,6 +200,7 @@ impl SpanStage {
             SpanStage::Reroute { .. } => "reroute",
             SpanStage::Retract { .. } => "retract",
             SpanStage::Abandon { .. } => "abandon",
+            SpanStage::RuleFired { .. } => "rule_fired",
             SpanStage::EdgeFail { .. } => "edge_fail",
             SpanStage::EdgeRepair { .. } => "edge_repair",
         }
@@ -243,6 +249,9 @@ impl SpanStage {
                     Some(e) => format!("\"failed_edge\":{e}"),
                     None => "\"failed_edge\":null".to_string(),
                 }
+            }
+            SpanStage::RuleFired { rule, action } => {
+                format!("\"rule\":{rule},\"action\":\"{action}\"")
             }
             SpanStage::Retract { edge }
             | SpanStage::EdgeFail { edge }

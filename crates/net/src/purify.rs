@@ -25,6 +25,15 @@
 //! boosted fidelity — see
 //! [`EdgeProfile::purified_fidelity`](crate::route::EdgeProfile) and
 //! [`RouteMetric::purified_cost`](crate::route::RouteMetric).
+//!
+//! The RuleSet control plane ([`crate::ruleset`]) expresses these
+//! same behaviours as interpreted condition→action tables —
+//! [`Policy::LinkPurify`](crate::ruleset::Policy) and
+//! [`Policy::EndToEndPurify`](crate::ruleset::Policy) are
+//! bit-identical to [`PurifyPolicy::LinkLevel`] and
+//! [`PurifyPolicy::EndToEnd`] — and adds data-only variants
+//! (threshold-gated purification, nested pumping) with no hard-coded
+//! analogue.
 
 /// Where a request applies 2→1 distillation.
 ///

@@ -78,6 +78,7 @@
 //! ```
 
 use crate::purify::PurifyPolicy;
+use crate::ruleset::Policy;
 use crate::topology::Topology;
 use qlink_des::SimDuration;
 use qlink_egp::feu::FidelityEstimator;
@@ -131,6 +132,44 @@ pub struct EdgeProfile {
     /// by the distillation's success probability — the double-pair
     /// (and retry) price a purifying route pays per edge.
     pub purified_latency: SimDuration,
+}
+
+impl EdgeProfile {
+    /// Fidelity and expected latency after `rounds` accepted nested
+    /// 2→1 distillations, each pumping the previous survivor with one
+    /// fresh profile-fidelity pair (entanglement pumping toward the
+    /// DEJMPS fixed point — see
+    /// [`Policy::PumpRounds`]).
+    ///
+    /// Round 1 reproduces the stored [`EdgeProfile::purified_fidelity`]
+    /// / [`EdgeProfile::purified_latency`] exactly; each further round
+    /// r pays the previous rounds' expected time plus one fresh pair
+    /// and the parity bit, divided by round r's acceptance
+    /// probability. `rounds == 0` returns the raw figures.
+    pub fn purified_after(&self, rounds: u8) -> (f64, SimDuration) {
+        let raw = self.fidelity.clamp(0.25, 1.0);
+        let pair_s = self.expected_latency.as_secs_f64();
+        let ctrl_s = self.control_delay.as_secs_f64();
+        let mut fidelity = raw;
+        let mut latency_s = pair_s;
+        for r in 0..rounds {
+            let out = distill_werner(fidelity, raw);
+            // The first round generates both pairs fresh; later rounds
+            // already hold the survivor and only wait for the pump.
+            let attempt_s = if r == 0 {
+                2.0 * pair_s + ctrl_s
+            } else {
+                latency_s + pair_s + ctrl_s
+            };
+            fidelity = out.output_fidelity;
+            latency_s = attempt_s / out.success_probability.max(f64::MIN_POSITIVE);
+        }
+        if rounds == 0 {
+            (self.fidelity, self.expected_latency)
+        } else {
+            (fidelity, SimDuration::from_secs_f64(latency_s))
+        }
+    }
 }
 
 /// A per-edge cost function for path search.
@@ -413,10 +452,10 @@ impl RoutePlanner {
                 f64::INFINITY
             } else {
                 let load = ctx.loads.get(edge).copied().unwrap_or(0);
-                let base = if purified {
-                    metric.purified_load_cost(p, load)
-                } else {
-                    metric.load_cost(p, load)
+                let base = match ctx.ruleset {
+                    Some(pol) => pol.price(metric, p, load),
+                    None if purified => metric.purified_load_cost(p, load),
+                    None => metric.load_cost(p, load),
                 };
                 if penalty > 0.0 {
                     // Penalty-box surcharge: multiplicative so it
@@ -590,6 +629,12 @@ pub struct PlanContext<'a> {
     /// currently-down edges), and edges beyond the slice (or an
     /// empty slice) are unpenalized.
     pub penalties: &'a [f64],
+    /// RuleSet policy the route will run under, if the request is
+    /// interpreted (see [`crate::ruleset`]). When set it takes over
+    /// base pricing from `purify` via [`Policy::price`] — a threshold
+    /// policy pays the distilled price only on edges its install rule
+    /// actually gates in, and a pumping policy reprices per round.
+    pub ruleset: Option<Policy>,
 }
 
 /// Edges (and via them, nodes) temporarily removed from the graph

@@ -15,6 +15,7 @@ use crate::obs::{fidelity_histogram, latency_histogram};
 use crate::par::ExecMode;
 use crate::purify::PurifyPolicy;
 use crate::route::{FidelityProduct, HopCount, Latency, LoadScaledLatency};
+use crate::ruleset::Policy;
 use crate::topology::Topology;
 use qlink_des::{DetRng, Histogram, SimDuration, SimTime, TimeSeries};
 use qlink_math::stats::RunningStats;
@@ -110,6 +111,30 @@ pub enum FaultChoice {
         /// robustness bench.
         penalty_box: bool,
     },
+}
+
+/// Which control plane a sweep run's nodes execute (the data-only
+/// `Copy` stand-in for [`Network::set_ruleset_policy`], so specs stay
+/// trivially `Send` + `Clone` across worker threads).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PolicyChoice {
+    /// The hard-coded `SwapAsapNode` machine (the default; every
+    /// earlier PR's behaviour, bit-for-bit).
+    #[default]
+    Hardcoded,
+    /// The interpreted RuleSet control plane, compiled from the given
+    /// [`Policy`] at issue time ([`crate::ruleset`]).
+    Rules(Policy),
+}
+
+impl PolicyChoice {
+    /// Display name (reports, benches).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyChoice::Hardcoded => "hardcoded",
+            PolicyChoice::Rules(p) => p.name(),
+        }
+    }
 }
 
 /// Which topology a sweep run instantiates.
@@ -224,6 +249,12 @@ pub struct ScenarioSpec {
     /// default, which arms no plan and reproduces earlier PRs'
     /// results bit-for-bit).
     pub faults: FaultChoice,
+    /// Control plane of every round's requests
+    /// ([`PolicyChoice::Hardcoded`] by default, which never touches
+    /// the RuleSet machinery and reproduces earlier PRs' results
+    /// bit-for-bit). Under [`PolicyChoice::Rules`] the run's requests
+    /// are interpreted and the spec's `purify` knob is ignored.
+    pub ruleset: PolicyChoice,
 }
 
 impl ScenarioSpec {
@@ -251,6 +282,7 @@ impl ScenarioSpec {
             exec: ExecChoice::Auto,
             workload: None,
             faults: FaultChoice::None,
+            ruleset: PolicyChoice::Hardcoded,
         }
     }
 
@@ -368,6 +400,13 @@ impl ScenarioSpec {
     /// Builder: subject the run to adversity (see [`FaultChoice`]).
     pub fn with_faults(mut self, faults: FaultChoice) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Builder: run the round requests under the interpreted RuleSet
+    /// control plane (see [`PolicyChoice`]).
+    pub fn with_ruleset(mut self, policy: Policy) -> Self {
+        self.ruleset = PolicyChoice::Rules(policy);
         self
     }
 
@@ -685,6 +724,9 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
         MetricChoice::LoadLatency => net.set_route_metric(LoadScaledLatency),
     }
     net.set_purify_policy(spec.purify);
+    if let PolicyChoice::Rules(policy) = spec.ruleset {
+        net.set_ruleset_policy(Some(policy));
+    }
     net.set_retry_budget(spec.retries);
     net.set_request_timeout(spec.request_timeout);
     if let FaultChoice::Flapping {
@@ -772,7 +814,11 @@ fn run_one_granted(spec: &ScenarioSpec, seed: u64, granted: usize) -> RunRecord 
         // EndToEnd a round is one logical request per pair (two
         // internal streams distilled into one delivered pair).
         let requests: Vec<u64> = if spec.pairs.is_empty() {
-            if streams == 1 || spec.purify == PurifyPolicy::EndToEnd {
+            let end_to_end = match spec.ruleset {
+                PolicyChoice::Hardcoded => spec.purify == PurifyPolicy::EndToEnd,
+                PolicyChoice::Rules(p) => p == Policy::EndToEndPurify,
+            };
+            if streams == 1 || end_to_end {
                 vec![net.request_entanglement(0, dst, spec.fmin)]
             } else {
                 net.request_entanglement_multipath(0, dst, spec.fmin, streams as usize)

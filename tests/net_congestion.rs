@@ -18,6 +18,7 @@
 //! CREATE retraction (a timeout storm leaves both EGP queues empty,
 //! so `edge_load` matches the links' true backlog).
 
+use qlink::net::ruleset::Policy;
 use qlink::net::sweep::{run_one, RunRecord};
 use qlink::net::{MetricChoice, TraceKind};
 use qlink::prelude::*;
@@ -396,6 +397,135 @@ fn edge_load_balances_through_fault_interleavings() {
         check(&net, "after cancel");
         for e in 0..net.topology().edge_count() {
             assert_eq!(net.edge_load(e), 0, "trial {trial}: edge {e} leaked load");
+        }
+    }
+}
+
+/// The interpreted extension of the ledger property (PR 10
+/// satellite): with a RuleSet policy installed on every node, the
+/// interpreter's purify claims (`reserve_ruleset` + `RuleState`
+/// latches), pump-round regenerations, releases during pending
+/// parities, and fault-triggered teardowns must all keep `edge_load`
+/// in agreement with both endpoint nodes' reservation counts
+/// (`reserved_on_edge` counts hard-coded and interpreted arms through
+/// the same `uses(role)` accounting). Trials mix every data-only
+/// policy with flapping faults, seeded retries/timeouts, an
+/// unachievable-fmin rejection exerciser, and a pinned noisy path;
+/// after cancel-all every edge is back at exactly zero and no node
+/// still holds a reservation.
+#[test]
+fn edge_load_balances_under_interpreted_rulesets() {
+    let mut rng = DetRng::new(0x5E7).substream("net-congestion/ruleset");
+    let policies = [
+        Policy::SwapAsap,
+        Policy::LinkPurify,
+        Policy::ThresholdPurify { theta: 0.85 },
+        Policy::PumpRounds { rounds: 2 },
+        Policy::EndToEndPurify,
+    ];
+    for (trial, &policy) in policies.iter().enumerate() {
+        let link_seed = rng.below(1 << 20);
+        let net_seed = rng.below(1 << 20);
+        let retries = rng.below(3) as u32;
+        let timeout_ms = 80 + rng.below(200);
+        let with_faults = trial % 2 == 0;
+        let mut topo = Topology::grid(3, 3, |i| {
+            let mut cfg = lab(link_seed + i as u64);
+            // Long memory so purifying policies can progress.
+            cfg.scenario.nv.carbon_t2 = 10.0;
+            cfg
+        });
+        topo.connect(0, 4, noisy_lab(link_seed + 100));
+        let mut net = Network::new(topo, net_seed);
+        net.set_route_metric(LoadScaledLatency);
+        net.set_ruleset_policy(Some(policy));
+        net.set_retry_budget(retries);
+        net.set_request_timeout(Some(SimDuration::from_millis(timeout_ms)));
+        if with_faults {
+            // Two central edges flap underneath the interpreted
+            // traffic: releases must land mid-parity and mid-pump.
+            let mut plan = FaultPlan::new();
+            for edge in [1, 7] {
+                plan = plan.with_flapping(Flapping {
+                    edge,
+                    mean_up: SimDuration::from_millis(60),
+                    mean_down: SimDuration::from_millis(20),
+                    cycles: 4,
+                    degrade: None,
+                });
+            }
+            net.set_fault_plan(&plan);
+        }
+
+        let mut requests = vec![
+            net.request_entanglement(0, 8, 0.6),
+            net.request_entanglement(2, 6, 0.6),
+            net.request_entanglement(3, 5, 0.6),
+            // Unachievable floor: rejected, re-routed, abandoned.
+            net.request_entanglement(0, 8, 0.95),
+        ];
+        requests.push(net.request_on_path(&[0, 4, 5, 8], 0.6));
+
+        let check = |net: &Network, when: &str| {
+            for e in 0..net.topology().edge_count() {
+                let edge = net.topology().edge(e);
+                let load = net.edge_load(e) as usize;
+                assert_eq!(
+                    load,
+                    net.node(edge.a).reserved_on_edge(e),
+                    "trial {trial} ({}) {when}: edge {e} vs node {}",
+                    policy.name(),
+                    edge.a
+                );
+                assert_eq!(
+                    load,
+                    net.node(edge.b).reserved_on_edge(e),
+                    "trial {trial} ({}) {when}: edge {e} vs node {}",
+                    policy.name(),
+                    edge.b
+                );
+            }
+        };
+
+        check(&net, "after issue");
+        let deadline = net.now() + SimDuration::from_millis(800);
+        loop {
+            let left = deadline.saturating_since(net.now());
+            if left == SimDuration::ZERO {
+                break;
+            }
+            let outcome = net.run_until_outcome(left);
+            check(&net, "mid-run");
+            if outcome.is_none() {
+                break;
+            }
+        }
+        if with_faults {
+            assert!(
+                net.faults() > 0,
+                "trial {trial}: the flapping plan must actually fire"
+            );
+        }
+        for &r in &requests {
+            net.cancel_request(r);
+        }
+        check(&net, "after cancel");
+        for e in 0..net.topology().edge_count() {
+            assert_eq!(
+                net.edge_load(e),
+                0,
+                "trial {trial} ({}): edge {e} leaked load",
+                policy.name()
+            );
+        }
+        for n in 0..net.topology().node_count() {
+            for &r in &requests {
+                assert!(
+                    !net.node(n).is_reserved(r),
+                    "trial {trial} ({}): node {n} still reserved for {r}",
+                    policy.name()
+                );
+            }
         }
     }
 }

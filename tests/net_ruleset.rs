@@ -1,0 +1,295 @@
+//! Golden suite for the RuleSet control plane (`qlink::net::ruleset`,
+//! the PR 10 tentpole).
+//!
+//! The contract under test: the **interpreted** SWAP-ASAP table is
+//! bit-identical to the hard-coded `SwapAsapNode` machine — same
+//! outcomes, same RNG draws, same event counts — across the PR 5
+//! parallel-suite scenario classes (chains, the contended 4×4 grid,
+//! both purification policies, single-edge paths), and `Sharded(n)`
+//! stays bit-identical to `Sequential` (byte-equal span streams) with
+//! rulesets enabled. The data-only policies — threshold-gated
+//! purification and k-round entanglement pumping — are pinned
+//! behaviourally: a gated-out threshold is indistinguishable from
+//! plain SWAP-ASAP, one pump round is indistinguishable from
+//! link-purify, and more rounds consume more pairs for more fidelity.
+
+use qlink::net::ruleset::Policy;
+use qlink::net::sweep::{run_one, ExecChoice, PolicyChoice, RunRecord};
+use qlink::net::{spans_jsonl, MetricChoice, TelemetryConfig};
+use qlink::prelude::*;
+
+/// Every field of a [`RunRecord`] that a simulation trajectory
+/// determines, f64 compared by bit pattern.
+fn fingerprint(r: &RunRecord) -> (u32, u32, u32, u64, u64, u64, u64, u64, u64) {
+    (
+        r.successes,
+        r.rounds,
+        r.timeouts,
+        r.reroutes,
+        r.events,
+        r.pairs_consumed,
+        r.fidelity.mean().to_bits(),
+        r.latency_s.mean().to_bits(),
+        r.latency_s.variance().to_bits(),
+    )
+}
+
+/// Asserts that `spec` run under the hard-coded machine and under the
+/// interpreted `policy` produce bit-identical records per seed.
+fn assert_interpreted_identical(spec: &ScenarioSpec, policy: Policy, seeds: &[u64]) {
+    for &seed in seeds {
+        let hard = run_one(spec, seed);
+        let soft = run_one(&spec.clone().with_ruleset(policy), seed);
+        assert_eq!(
+            fingerprint(&hard),
+            fingerprint(&soft),
+            "{}: interpreted {} diverged from hard-coded at seed {seed}",
+            spec.name,
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn interpreted_swap_asap_matches_hardcoded_on_chains() {
+    let spec = ScenarioSpec::lab_chain("chain-3", 3)
+        .with_rounds(2)
+        .with_max_time(SimDuration::from_secs(25));
+    assert_interpreted_identical(&spec, Policy::SwapAsap, &[1, 7]);
+}
+
+#[test]
+fn interpreted_swap_asap_matches_hardcoded_on_one_hop() {
+    // Single-edge paths: the short-request lookahead collapse, and the
+    // only case where an end's table completes without swap results.
+    let spec = ScenarioSpec::lab_chain("one-hop", 2)
+        .with_rounds(3)
+        .with_max_time(SimDuration::from_secs(10));
+    assert_interpreted_identical(&spec, Policy::SwapAsap, &[2, 9]);
+}
+
+#[test]
+fn interpreted_swap_asap_matches_hardcoded_on_contended_grid() {
+    // The PR 4 contention scenario: armed timeouts, retries, re-routes
+    // — interpreted attempts must release, park, re-plan (pricing
+    // through Policy::price), and re-install tables identically.
+    let spec = ScenarioSpec::lab_grid("contended-grid", 4, 4)
+        .with_pairs(vec![(0, 15), (3, 12), (1, 11), (2, 8), (7, 13), (4, 14)])
+        .with_metric(MetricChoice::LoadLatency)
+        .with_request_timeout(SimDuration::from_millis(300))
+        .with_retries(2)
+        .with_max_time(SimDuration::from_millis(700));
+    let probe = run_one(&spec.clone().with_ruleset(Policy::SwapAsap), 5);
+    assert!(probe.reroutes > 0, "seed must actually exercise re-routing");
+    assert_interpreted_identical(&spec, Policy::SwapAsap, &[1, 5]);
+}
+
+#[test]
+fn interpreted_link_purify_matches_hardcoded_link_level() {
+    let spec = ScenarioSpec::lab_chain("link-purify", 4)
+        .with_carbon_t2(10.0)
+        .with_purify(PurifyPolicy::LinkLevel)
+        .with_max_time(SimDuration::from_secs(40));
+    // The interpreted spec carries PurifyPolicy::Off: the table alone
+    // recreates LinkLevel (double CREATEs, distill, regenerate on
+    // reject) and Policy::price the purified route pricing.
+    let hard = spec.clone();
+    let soft = ScenarioSpec::lab_chain("link-purify", 4)
+        .with_carbon_t2(10.0)
+        .with_max_time(SimDuration::from_secs(40))
+        .with_ruleset(Policy::LinkPurify);
+    let seed = 3;
+    assert_eq!(
+        fingerprint(&run_one(&hard, seed)),
+        fingerprint(&run_one(&soft, seed)),
+        "interpreted link-purify diverged from PurifyPolicy::LinkLevel at seed {seed}"
+    );
+}
+
+#[test]
+fn interpreted_end_to_end_matches_hardcoded_end_to_end() {
+    let hard = ScenarioSpec::lab_chain("e2e-purify", 4)
+        .with_carbon_t2(10.0)
+        .with_purify(PurifyPolicy::EndToEnd)
+        .with_max_time(SimDuration::from_secs(40));
+    let soft = ScenarioSpec::lab_chain("e2e-purify", 4)
+        .with_carbon_t2(10.0)
+        .with_max_time(SimDuration::from_secs(40))
+        .with_ruleset(Policy::EndToEndPurify);
+    let seed = 3;
+    assert_eq!(
+        fingerprint(&run_one(&hard, seed)),
+        fingerprint(&run_one(&soft, seed)),
+        "interpreted e2e-purify diverged from PurifyPolicy::EndToEnd at seed {seed}"
+    );
+}
+
+// ---- engine invariance with rules enabled ---------------------------
+
+fn chain(n: usize) -> Topology {
+    Topology::chain(n, |i| LinkConfig::lab(WorkloadSpec::none(), 100 + i as u64))
+}
+
+/// With rulesets enabled and telemetry on, `Sharded(n)` produces a
+/// span stream byte-identical to `Sequential` — including the new
+/// `rule_fired` spans, whose emission points ride the same control
+/// messages as the decisions they log.
+#[test]
+fn sharded_span_stream_is_byte_identical_with_rules() {
+    for policy in [Policy::SwapAsap, Policy::LinkPurify] {
+        let run = |exec| {
+            let mut net = Network::new(chain(4), 11);
+            net.set_telemetry(TelemetryConfig::all());
+            net.set_exec(exec);
+            net.set_ruleset_policy(Some(policy));
+            net.request_entanglement(0, 3, 0.5);
+            net.run_until_outcome(SimDuration::from_secs(40));
+            spans_jsonl(net.telemetry().expect("telemetry on").spans())
+        };
+        let seq = run(ExecMode::Sequential);
+        assert!(
+            seq.contains("\"stage\":\"rule_fired\""),
+            "{}: interpreted runs must log fired rules",
+            policy.name()
+        );
+        for n in [2, 4] {
+            assert_eq!(
+                seq,
+                run(ExecMode::Sharded(n)),
+                "{}: span stream diverged under Sharded({n})",
+                policy.name()
+            );
+        }
+    }
+}
+
+/// Sweep-level engine equivalence with rules enabled, on the
+/// contended grid (re-routes re-compiling tables mid-run).
+#[test]
+fn sharded_runs_match_sequential_with_rules() {
+    let spec = ScenarioSpec::lab_grid("grid-rules", 4, 4)
+        .with_pairs(vec![(0, 15), (3, 12), (1, 11)])
+        .with_metric(MetricChoice::LoadLatency)
+        .with_request_timeout(SimDuration::from_millis(300))
+        .with_retries(2)
+        .with_max_time(SimDuration::from_millis(700))
+        .with_ruleset(Policy::SwapAsap);
+    for seed in [1, 5] {
+        let seq = run_one(&spec.clone().with_exec(ExecChoice::Sequential), seed);
+        for n in [2, 4] {
+            let sh = run_one(&spec.clone().with_exec(ExecChoice::Sharded(n)), seed);
+            assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&sh),
+                "rules: Sharded({n}) diverged from Sequential at seed {seed}"
+            );
+        }
+    }
+}
+
+// ---- passivity ------------------------------------------------------
+
+/// `SpanStage::RuleFired` is observation, not behaviour: an
+/// interpreted run produces bit-identical results with telemetry on
+/// or off.
+#[test]
+fn rule_fired_telemetry_never_moves_a_bit() {
+    let run = |telemetry: bool| {
+        let mut net = Network::new(chain(4), 11);
+        if telemetry {
+            net.set_telemetry(TelemetryConfig::all());
+        }
+        net.set_ruleset_policy(Some(Policy::LinkPurify));
+        net.request_entanglement(0, 3, 0.5);
+        let out = net
+            .run_until_outcome(SimDuration::from_secs(40))
+            .expect("delivers");
+        (
+            out.end_to_end_fidelity.to_bits(),
+            out.latency.as_ps(),
+            net.events_fired(),
+        )
+    };
+    assert_eq!(run(false), run(true), "telemetry moved an interpreted run");
+}
+
+// ---- the data-only policies -----------------------------------------
+
+/// A threshold no edge is below compiles every edge to a zero-round
+/// program: the run is bit-identical to plain interpreted SWAP-ASAP.
+/// A threshold every edge is below is bit-identical to link-purify.
+#[test]
+fn threshold_purify_degenerates_to_its_neighbours() {
+    let base = ScenarioSpec::lab_chain("threshold", 4)
+        .with_carbon_t2(10.0)
+        .with_max_time(SimDuration::from_secs(40));
+    let run =
+        |policy: Policy, seed: u64| fingerprint(&run_one(&base.clone().with_ruleset(policy), seed));
+    let seed = 3;
+    assert_eq!(
+        run(Policy::ThresholdPurify { theta: 0.0 }, seed),
+        run(Policy::SwapAsap, seed),
+        "theta below every edge must behave as SWAP-ASAP"
+    );
+    assert_eq!(
+        run(Policy::ThresholdPurify { theta: 1.0 }, seed),
+        run(Policy::LinkPurify, seed),
+        "theta above every edge must behave as link-purify"
+    );
+}
+
+/// Pumping degenerates correctly at its edges (0 rounds = SWAP-ASAP,
+/// 1 round = link-purify) and a second round spends more link pairs
+/// on the delivered outcome.
+#[test]
+fn pump_rounds_scale_pair_cost() {
+    let base = ScenarioSpec::lab_chain("pump", 4)
+        .with_carbon_t2(10.0)
+        .with_max_time(SimDuration::from_secs(40));
+    let run = |policy: Policy, seed: u64| run_one(&base.clone().with_ruleset(policy), seed);
+    let seed = 3;
+    let asap = run(Policy::SwapAsap, seed);
+    let one = run(Policy::LinkPurify, seed);
+    assert_eq!(
+        fingerprint(&run(Policy::PumpRounds { rounds: 0 }, seed)),
+        fingerprint(&asap),
+        "0 rounds must behave as SWAP-ASAP"
+    );
+    assert_eq!(
+        fingerprint(&run(Policy::PumpRounds { rounds: 1 }, seed)),
+        fingerprint(&one),
+        "1 round must behave as link-purify"
+    );
+    let two = run(Policy::PumpRounds { rounds: 2 }, seed);
+    assert!(
+        two.successes == 0 || asap.successes == 0 || two.pairs_consumed > asap.pairs_consumed,
+        "a delivered two-round outcome must consume more pairs than SWAP-ASAP \
+         (pump {} vs asap {})",
+        two.pairs_consumed,
+        asap.pairs_consumed
+    );
+}
+
+/// The sweep matrix carries [`PolicyChoice`] end to end: a two-cell
+/// sweep mixing hard-coded and interpreted specs merges
+/// deterministically and names the policies.
+#[test]
+fn sweep_matrix_carries_policy_choice() {
+    let specs = vec![
+        ScenarioSpec::lab_chain("hard", 3).with_max_time(SimDuration::from_secs(25)),
+        ScenarioSpec::lab_chain("soft", 3)
+            .with_max_time(SimDuration::from_secs(25))
+            .with_ruleset(Policy::SwapAsap),
+    ];
+    assert_eq!(specs[0].ruleset.name(), "hardcoded");
+    assert_eq!(specs[1].ruleset.name(), "rs-swap-asap");
+    assert_eq!(
+        PolicyChoice::Rules(Policy::ThresholdPurify { theta: 0.9 }).name(),
+        "rs-threshold"
+    );
+    let report = sweep(&specs, &[1], 2);
+    assert_eq!(report.runs.len(), 2);
+    // Same physics, same seed, same decisions: the interpreted twin
+    // reproduces the hard-coded record bit for bit inside the sweep.
+    assert_eq!(fingerprint(&report.runs[0]), fingerprint(&report.runs[1]));
+}
